@@ -1,0 +1,185 @@
+// Benchmarks that regenerate every reproduced table and figure (one
+// Benchmark per experiment E1–E8 of DESIGN.md), plus micro-benchmarks of
+// the sorter on each network family. Experiment benches report their
+// wall time per full regeneration; sorting benches additionally report
+// the simulated parallel rounds as a custom metric.
+package productsort
+
+import (
+	"testing"
+
+	"productsort/internal/exp"
+	"productsort/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run()
+		if len(res.Tables)+len(res.Figures) == 0 {
+			b.Fatal("experiment produced no artifacts")
+		}
+	}
+}
+
+func BenchmarkE1_PaperExample(b *testing.B)        { benchExperiment(b, "e1") }
+func BenchmarkE2_DirtyArea(b *testing.B)           { benchExperiment(b, "e2") }
+func BenchmarkE3_Theorem1(b *testing.B)            { benchExperiment(b, "e3") }
+func BenchmarkE4_UniversalBound(b *testing.B)      { benchExperiment(b, "e4") }
+func BenchmarkE5_GridMCTScaling(b *testing.B)      { benchExperiment(b, "e5") }
+func BenchmarkE6_HypercubeVsBatcher(b *testing.B)  { benchExperiment(b, "e6") }
+func BenchmarkE7_PetersenDeBruijn(b *testing.B)    { benchExperiment(b, "e7") }
+func BenchmarkE8_VsColumnsort(b *testing.B)        { benchExperiment(b, "e8") }
+func BenchmarkE9_BlockScaling(b *testing.B)        { benchExperiment(b, "e9") }
+func BenchmarkE10_LabelingAblation(b *testing.B)   { benchExperiment(b, "e10") }
+func BenchmarkE11_Obliviousness(b *testing.B)      { benchExperiment(b, "e11") }
+func BenchmarkE12_Heterogeneous(b *testing.B)      { benchExperiment(b, "e12") }
+func BenchmarkE13_TorusEmulation(b *testing.B)     { benchExperiment(b, "e13") }
+func BenchmarkE14_PermutationRouting(b *testing.B) { benchExperiment(b, "e14") }
+func BenchmarkE15_EngineAgreement(b *testing.B)    { benchExperiment(b, "e15") }
+
+func benchSort(b *testing.B, nw *Network) {
+	keys := workload.Uniform(nw.Nodes(), 1)
+	s, err := NewSorter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Sort(nw, keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "parallel-rounds")
+	b.ReportMetric(float64(nw.Nodes()), "processors")
+}
+
+func BenchmarkSortGrid4x4x4(b *testing.B)    { benchSort(b, mustNet(Grid(4, 3))) }
+func BenchmarkSortGrid8x8x8(b *testing.B)    { benchSort(b, mustNet(Grid(8, 3))) }
+func BenchmarkSortGrid16x16(b *testing.B)    { benchSort(b, mustNet(Grid(16, 2))) }
+func BenchmarkSortTorus5x5x5(b *testing.B)   { benchSort(b, mustNet(Torus(5, 3))) }
+func BenchmarkSortHypercube6(b *testing.B)   { benchSort(b, mustNet(Hypercube(6))) }
+func BenchmarkSortHypercube10(b *testing.B)  { benchSort(b, mustNet(Hypercube(10))) }
+func BenchmarkSortMCT3x2(b *testing.B)       { benchSort(b, mustNet(MeshConnectedTrees(3, 2))) }
+func BenchmarkSortPetersen2(b *testing.B)    { benchSort(b, mustNet(PetersenCube(2))) }
+func BenchmarkSortDeBruijn8x8(b *testing.B)  { benchSort(b, mustNet(DeBruijnProduct(2, 3, 2))) }
+func BenchmarkSortShuffleEx8x8(b *testing.B) { benchSort(b, mustNet(ShuffleExchangeProduct(3, 2))) }
+
+func BenchmarkSortGoroutineExecutor(b *testing.B) {
+	nw, err := Grid(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := workload.Uniform(nw.Nodes(), 1)
+	s, err := NewSorter(WithGoroutines())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sort(nw, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: S_2 engine choice (DESIGN.md calls out shearsort vs the
+// simpler snake odd-even transposition).
+func benchEngine(b *testing.B, engine string) {
+	nw, err := Grid(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := workload.Uniform(nw.Nodes(), 1)
+	s, err := NewSorter(WithEngine(engine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Sort(nw, keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "parallel-rounds")
+}
+
+func BenchmarkEngineShearsort(b *testing.B) { benchEngine(b, "shearsort") }
+func BenchmarkEngineSnakeOET(b *testing.B)  { benchEngine(b, "snake-oet") }
+
+func BenchmarkExtractSchedule(b *testing.B) {
+	nw := mustNet(Grid(4, 3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractSchedule(nw, "auto"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleReplay4096(b *testing.B) {
+	nw := mustNet(Hypercube(12))
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := workload.Uniform(4096, 1)
+	buf := make([]Key, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		s.Apply(buf)
+	}
+}
+
+func BenchmarkBlockSort64x64(b *testing.B) {
+	nw := mustNet(Hypercube(6))
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := workload.Uniform(64*64, 1)
+	buf := make([]Key, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		if _, err := s.SortBlocks(buf, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Wall-clock scaling of the phase executors on a big machine.
+func benchExecutor(b *testing.B, exec string) {
+	nw := mustNet(Grid(16, 3)) // 4096 processors
+	keys := workload.Uniform(nw.Nodes(), 1)
+	opts := []Option{}
+	if exec == "goroutine" {
+		opts = append(opts, WithGoroutines())
+	}
+	s, err := NewSorter(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sort(nw, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorSequential4096(b *testing.B) { benchExecutor(b, "sequential") }

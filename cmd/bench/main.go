@@ -1,0 +1,78 @@
+// Command bench regenerates the paper-reproduction tables and figures
+// (experiments E1–E8 from DESIGN.md) and prints them to stdout.
+//
+// Usage:
+//
+//	bench            # run all experiments
+//	bench -exp e3    # run one experiment
+//	bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"productsort/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment id (e1..e14); empty runs all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	csvDir := flag.String("csv", "", "also write each table/figure as CSV into <dir>")
+	flag.Parse()
+
+	for _, d := range []string{*outDir, *csvDir} {
+		if d != "" {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var toRun []exp.Experiment
+	if *expID == "" {
+		toRun = exp.All()
+	} else {
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []exp.Experiment{e}
+	}
+	for _, e := range toRun {
+		start := time.Now()
+		res := e.Run()
+		res.Render(os.Stdout)
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res.Render(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *csvDir != "" {
+			if _, err := res.WriteCSVs(*csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

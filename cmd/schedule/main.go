@@ -1,0 +1,76 @@
+// Command schedule extracts the oblivious compare-exchange schedule of
+// the sorting algorithm for a chosen product network and prints its
+// statistics, optionally dumping the full phase list as JSON (usable by
+// external tools or for replay) and optionally verifying the schedule
+// exhaustively against the zero-one principle.
+//
+// Usage examples:
+//
+//	schedule -network hypercube -r 4
+//	schedule -network grid -n 3 -r 2 -json > grid3x3.json
+//	schedule -network grid -n 3 -r 2 -verify
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"productsort"
+	"productsort/internal/cli"
+)
+
+func main() {
+	nf := cli.RegisterNetworkFlags(nil)
+	engine := flag.String("engine", "auto", "S2 engine: auto | shearsort | snake-oet | opt4")
+	asJSON := flag.Bool("json", false, "dump the full phase list as JSON to stdout")
+	verify := flag.Bool("verify", false, "exhaustively verify the 0-1 principle (inputs ≤ 22)")
+	flag.Parse()
+
+	nw, err := nf.Build()
+	if err != nil {
+		fail(err)
+	}
+	s, err := productsort.ExtractSchedule(nw, *engine)
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(s); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("network      %s\n", nw.Name())
+	fmt.Printf("inputs       %d\n", s.Inputs())
+	fmt.Printf("phases       %d (parallel depth)\n", s.Depth())
+	fmt.Printf("comparators  %d\n", s.Size())
+	if pred, err := nw.PredictedRounds(*engine); err == nil && nw.HamiltonianFactor() {
+		fmt.Printf("theorem 1    %d rounds (depth is lower when phases were empty)\n", pred)
+	}
+	if *verify {
+		if s.Inputs() > 22 {
+			fail(fmt.Errorf("verify: %d inputs too many for exhaustive 0-1 check", s.Inputs()))
+		}
+		keys := make([]productsort.Key, s.Inputs())
+		for mask := 0; mask < 1<<s.Inputs(); mask++ {
+			for i := range keys {
+				keys[i] = productsort.Key(mask >> i & 1)
+			}
+			s.Apply(keys)
+			for i := 1; i < len(keys); i++ {
+				if keys[i] < keys[i-1] {
+					fail(fmt.Errorf("verify: 0-1 input %b not sorted", mask))
+				}
+			}
+		}
+		fmt.Printf("verified     all %d zero-one inputs sort correctly\n", 1<<s.Inputs())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedule:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Debruijn: the portability claim of the paper — the *same* Sort call
+// runs unchanged on products of de Bruijn graphs, shuffle-exchange
+// graphs, Petersen graphs, tori, and mesh-connected trees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"productsort"
+	"productsort/internal/workload"
+)
+
+func main() {
+	nets := []struct {
+		name  string
+		build func() (*productsort.Network, error)
+	}{
+		{"de Bruijn product", func() (*productsort.Network, error) { return productsort.DeBruijnProduct(2, 3, 2) }},
+		{"shuffle-exchange product", func() (*productsort.Network, error) { return productsort.ShuffleExchangeProduct(3, 2) }},
+		{"Petersen cube", func() (*productsort.Network, error) { return productsort.PetersenCube(2) }},
+		{"torus", func() (*productsort.Network, error) { return productsort.Torus(5, 3) }},
+		{"mesh-connected trees", func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) }},
+	}
+	fmt.Println("one algorithm, every product network:")
+	fmt.Printf("%-26s %-20s %-7s %-7s %-7s %-7s\n", "family", "instance", "nodes", "rounds", "routed", "sorted")
+	for _, cfg := range nets {
+		nw, err := cfg.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys := workload.Gaussianish(nw.Nodes(), 11)
+		res, err := productsort.Sort(nw, keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %-20s %-7d %-7d %-7d %-7v\n",
+			cfg.name, nw.Name(), nw.Nodes(), res.Rounds, res.RoutedPhases,
+			productsort.IsSorted(res.Keys))
+	}
+	fmt.Println("\nrouted > 0 marks non-Hamiltonian factors (trees), where the")
+	fmt.Println("algorithm falls back to permutation routing exactly as in Section 4.")
+}

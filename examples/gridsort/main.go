@@ -1,0 +1,42 @@
+// Gridsort: Section 5.1 from a user's point of view — sort on
+// r-dimensional grids of growing side N and watch the cost stay linear
+// in N for fixed r (the paper's asymptotically optimal case).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"productsort"
+	"productsort/internal/workload"
+)
+
+func main() {
+	fmt.Println("grid sorting cost, r fixed (paper: O(N), optimal for bounded r)")
+	fmt.Printf("%-10s %-8s %-8s %-10s %-10s\n", "grid", "nodes", "rounds", "rounds/N", "predicted")
+	for _, r := range []int{2, 3} {
+		for _, n := range []int{3, 4, 6, 8, 12} {
+			nw, err := productsort.Grid(n, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			keys := workload.Uniform(nw.Nodes(), 7)
+			res, err := productsort.Sort(nw, keys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !productsort.IsSorted(res.Keys) {
+				log.Fatalf("%s: unsorted output", nw.Name())
+			}
+			pred, err := nw.PredictedRounds("auto")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-8d %-8d %-10.2f %-10d\n",
+				nw.Name(), nw.Nodes(), res.Rounds, float64(res.Rounds)/float64(n), pred)
+		}
+		fmt.Println()
+	}
+	fmt.Println("rounds/N grows only with the S2 engine's log factor; the")
+	fmt.Println("r-dependence is (r-1)^2 exactly as Theorem 1 predicts.")
+}

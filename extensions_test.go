@@ -1,0 +1,270 @@
+package productsort
+
+import (
+	"sort"
+	"testing"
+
+	"productsort/internal/workload"
+)
+
+func TestNewFamilyConstructors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Network, error)
+		nodes int
+	}{
+		{"circulant", func() (*Network, error) { return CirculantProduct(8, []int{1, 3}, 2) }, 64},
+		{"wheel", func() (*Network, error) { return WheelProduct(6, 2) }, 36},
+		{"caterpillar", func() (*Network, error) { return CaterpillarProduct(3, []int{1, 0, 1}, 2) }, 25},
+		{"kautz", func() (*Network, error) { return KautzProduct(2, 1, 2) }, 36},
+	}
+	for _, c := range cases {
+		nw, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if nw.Nodes() != c.nodes {
+			t.Errorf("%s: nodes=%d want %d", c.name, nw.Nodes(), c.nodes)
+		}
+		keys := workload.Uniform(nw.Nodes(), 3)
+		res, err := Sort(nw, keys)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !IsSorted(res.Keys) {
+			t.Errorf("%s: unsorted", c.name)
+		}
+	}
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	bad := []func() (*Network, error){
+		func() (*Network, error) { return CirculantProduct(2, []int{1}, 2) },
+		func() (*Network, error) { return CirculantProduct(6, []int{0}, 2) },
+		func() (*Network, error) { return WheelProduct(3, 2) },
+		func() (*Network, error) { return CaterpillarProduct(2, []int{1}, 2) },
+		func() (*Network, error) { return CaterpillarProduct(1, []int{-1}, 2) },
+		func() (*Network, error) { return KautzProduct(1, 1, 2) },
+	}
+	for i, f := range bad {
+		if _, err := f(); err == nil {
+			t.Errorf("case %d: invalid constructor accepted", i)
+		}
+	}
+}
+
+func TestRelabelDilation3(t *testing.T) {
+	nw := mustNet(MeshConnectedTrees(4, 2)) // 15-node tree factor
+	improved := RelabelDilation3(nw)
+	keys := workload.Uniform(nw.Nodes(), 5)
+	resA, err := Sort(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Sort(improved, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(resA.Keys) || !IsSorted(resB.Keys) {
+		t.Fatal("sort failed")
+	}
+	// Dilation-3 caps the per-pair distance, but congestion decides the
+	// measured sweep cost, so neither labeling dominates the other; the
+	// guarantee is only "within a constant of each other" (the labeling
+	// ablation experiment quantifies this against shuffled labels).
+	if resB.Rounds > 2*resA.Rounds || resA.Rounds > 2*resB.Rounds {
+		t.Errorf("labelings differ by more than 2x: %d vs %d rounds", resB.Rounds, resA.Rounds)
+	}
+	// Hamiltonian networks are returned unchanged.
+	h := mustNet(Grid(4, 2))
+	if RelabelDilation3(h) != h {
+		t.Error("Hamiltonian factor was relabeled")
+	}
+}
+
+func TestSortMessagePassing(t *testing.T) {
+	for _, nw := range []*Network{
+		mustNet(Grid(3, 3)),
+		mustNet(Hypercube(5)),
+		mustNet(MeshConnectedTrees(3, 2)),
+	} {
+		keys := workload.Uniform(nw.Nodes(), 21)
+		ref, err := Sort(nw, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SortMessagePassing(nw, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Keys {
+			if got.Keys[i] != ref.Keys[i] {
+				t.Fatalf("%s: SPMD diverged at %d", nw.Name(), i)
+			}
+		}
+		if nw.HamiltonianFactor() && got.Relays != 0 {
+			t.Errorf("%s: unexpected relays %d", nw.Name(), got.Relays)
+		}
+		if !nw.HamiltonianFactor() && got.Relays == 0 {
+			t.Errorf("%s: expected relayed exchanges", nw.Name())
+		}
+		if got.Messages == 0 {
+			t.Errorf("%s: no messages recorded", nw.Name())
+		}
+	}
+	if _, err := SortMessagePassing(mustNet(Grid(3, 2)), make([]Key, 5)); err == nil {
+		t.Error("wrong key count accepted")
+	}
+}
+
+func TestExtractScheduleAndApply(t *testing.T) {
+	nw := mustNet(Grid(3, 3))
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Inputs() != 27 || s.Depth() <= 0 || s.Size() <= 0 {
+		t.Fatalf("degenerate schedule: %d/%d/%d", s.Inputs(), s.Depth(), s.Size())
+	}
+	keys := workload.Permutation(27, 9)
+	s.Apply(keys)
+	if !IsSorted(keys) {
+		t.Fatal("schedule replay failed to sort")
+	}
+	if _, err := ExtractSchedule(nw, "bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}
+
+func TestScheduleDepthEqualsSortRounds(t *testing.T) {
+	// For Hamiltonian factors with no empty phases, the schedule depth
+	// equals the machine's round count.
+	nw := mustNet(Grid(3, 3))
+	s, err := ExtractSchedule(nw, "shearsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorter, _ := NewSorter(WithEngine("shearsort"))
+	res, err := sorter.Sort(nw, workload.Uniform(27, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != res.Rounds {
+		t.Errorf("schedule depth %d != sort rounds %d", s.Depth(), res.Rounds)
+	}
+}
+
+func TestSortBlocks(t *testing.T) {
+	nw := mustNet(Hypercube(5))
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 3, 16} {
+		keys := workload.Uniform(32*bs, int64(bs))
+		want := append([]Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		st, err := s.SortBlocks(keys, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("block=%d: wrong output at %d", bs, i)
+			}
+		}
+		if st.Rounds != s.Depth() {
+			t.Errorf("block=%d: rounds %d != depth %d", bs, st.Rounds, s.Depth())
+		}
+	}
+	if _, err := s.SortBlocks(make([]Key, 10), 3); err == nil {
+		t.Error("bad key count accepted")
+	}
+}
+
+func TestRoutePermutation(t *testing.T) {
+	nw := mustNet(Grid(4, 2))
+	perm := make([]int, 16)
+	for i := range perm {
+		perm[i] = 15 - i
+	}
+	st, err := nw.RoutePermutation(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < nw.Diameter() {
+		t.Errorf("reversal routed in %d rounds, below diameter %d", st.Rounds, nw.Diameter())
+	}
+	if st.TotalHops <= 0 || st.MaxQueue < 1 {
+		t.Errorf("stats degenerate: %+v", st)
+	}
+	if _, err := nw.RoutePermutation([]int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := nw.RoutePermutation(make([]int, 16)); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+func TestScheduleMarshalJSON(t *testing.T) {
+	nw := mustNet(Hypercube(3))
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Errorf("bad JSON: %.40s", data)
+	}
+}
+
+func TestDOTOutputs(t *testing.T) {
+	nw := mustNet(Grid(2, 2))
+	if out := nw.DOT(); len(out) == 0 || out[0] != 'g' {
+		t.Errorf("DOT: %.30s", out)
+	}
+	if out := nw.FactorDOT(); len(out) == 0 {
+		t.Error("FactorDOT empty")
+	}
+	if nw.FactorSize() != 2 {
+		t.Error("FactorSize wrong")
+	}
+}
+
+func TestRenderWrongLength(t *testing.T) {
+	nw := mustNet(Grid(2, 2))
+	if out := nw.Render(make([]Key, 3)); out == "" {
+		t.Error("no diagnostic for wrong length")
+	}
+}
+
+func TestMergeSortedAndSortSequence(t *testing.T) {
+	got, err := MergeSorted([][]Key{
+		{0, 4, 4, 5, 5, 7, 8, 8, 9},
+		{1, 4, 5, 5, 5, 6, 7, 7, 8},
+		{0, 0, 1, 1, 1, 2, 3, 4, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(got) || len(got) != 27 {
+		t.Fatalf("MergeSorted: %v", got)
+	}
+	keys := workload.Uniform(64, 9)
+	sorted, err := SortSequence(keys, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(sorted) {
+		t.Fatal("SortSequence failed")
+	}
+	if _, err := MergeSorted([][]Key{{1}}); err == nil {
+		t.Error("single sequence accepted")
+	}
+	if _, err := SortSequence(keys, 3, 3); err == nil {
+		t.Error("wrong size accepted")
+	}
+}

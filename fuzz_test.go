@@ -1,0 +1,69 @@
+package productsort
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzSortGrid drives the full algorithm with fuzz-generated keys on a
+// 3×3×3 grid and cross-checks the standard library.
+func FuzzSortGrid(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3))
+	f.Add(int64(-9), int64(0), int64(9))
+	nw, err := Grid(3, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		keys := make([]Key, nw.Nodes())
+		// Derive 27 keys deterministically from the three seeds.
+		x := a
+		for i := range keys {
+			x = x*6364136223846793005 + b ^ c
+			keys[i] = Key(x >> 32)
+		}
+		res, err := Sort(nw, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if res.Keys[i] != want[i] {
+				t.Fatalf("mismatch at %d: %d vs %d", i, res.Keys[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzScheduleBlocks fuzzes block sorting over the hypercube schedule.
+func FuzzScheduleBlocks(f *testing.F) {
+	f.Add(int64(7), uint8(3))
+	nw, err := Hypercube(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sched, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, bsRaw uint8) {
+		bs := 1 + int(bsRaw)%8
+		keys := make([]Key, sched.Inputs()*bs)
+		x := seed
+		for i := range keys {
+			x = x*2862933555777941757 + 3037000493
+			keys[i] = Key(x % 1000)
+		}
+		want := append([]Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if _, err := sched.SortBlocks(keys, bs); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("block sort mismatch at %d", i)
+			}
+		}
+	})
+}

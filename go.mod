@@ -1,0 +1,3 @@
+module productsort
+
+go 1.22

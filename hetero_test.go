@@ -1,0 +1,169 @@
+package productsort
+
+import (
+	"sort"
+	"testing"
+
+	"productsort/internal/workload"
+)
+
+func TestRectGridSorts(t *testing.T) {
+	cases := [][]int{
+		{4, 3}, {3, 4}, {2, 8}, {8, 2},
+		{2, 5, 3}, {3, 4, 4}, {4, 4, 2}, {2, 3, 3, 2},
+	}
+	for _, sides := range cases {
+		nw, err := RectGrid(sides...)
+		if err != nil {
+			t.Fatalf("%v: %v", sides, err)
+		}
+		keys := workload.Uniform(nw.Nodes(), 77)
+		res, err := Sort(nw, keys)
+		if err != nil {
+			t.Fatalf("%v: %v", sides, err)
+		}
+		want := append([]Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if res.Keys[i] != want[i] {
+				t.Fatalf("%v (%s): wrong at %d", sides, nw.Name(), i)
+			}
+		}
+	}
+}
+
+func TestRectGridAutoArranges(t *testing.T) {
+	// sides 2,3,5: upper dims must be rearranged to 5 ≥ 3; dimension 1
+	// stays 2.
+	nw, err := RectGrid(2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radices := nw.Radices()
+	if radices[0] != 2 || radices[1] != 5 || radices[2] != 3 {
+		t.Errorf("radices %v want [2 5 3]", radices)
+	}
+	keys := workload.Reverse(nw.Nodes(), 0)
+	res, err := Sort(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(res.Keys) {
+		t.Error("unsorted")
+	}
+}
+
+func TestRectGridValidation(t *testing.T) {
+	if _, err := RectGrid(); err == nil {
+		t.Error("empty sides accepted")
+	}
+	if _, err := RectGrid(1, 4); err == nil {
+		t.Error("side 1 accepted")
+	}
+	if _, err := RectTorus(4, 2); err == nil {
+		t.Error("torus side 2 accepted")
+	}
+}
+
+func TestRectTorusSorts(t *testing.T) {
+	nw, err := RectTorus(3, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Nodes() != 60 {
+		t.Fatalf("nodes=%d", nw.Nodes())
+	}
+	keys := workload.Gaussianish(60, 3)
+	res, err := Sort(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(res.Keys) {
+		t.Error("unsorted")
+	}
+}
+
+func TestRectGridPredictedRounds(t *testing.T) {
+	// Path factors are Hamiltonian-labeled, so the predictor is exact.
+	for _, sides := range [][]int{{4, 3}, {2, 5, 3}, {3, 4, 4, 2}} {
+		nw, err := RectGrid(sides...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sort(nw, workload.Permutation(nw.Nodes(), 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := nw.PredictedRounds("auto")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != pred {
+			t.Errorf("%s: rounds %d predicted %d", nw.Name(), res.Rounds, pred)
+		}
+	}
+}
+
+func TestRectGridScheduleAndSPMD(t *testing.T) {
+	nw, err := RectGrid(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Uniform(nw.Nodes(), 31)
+	ref, err := Sort(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule replay.
+	s, err := ExtractSchedule(nw, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := append([]Key(nil), keys...)
+	s.Apply(replay)
+	// SPMD engine.
+	mp, err := SortMessagePassing(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Keys {
+		if replay[i] != ref.Keys[i] {
+			t.Fatalf("schedule replay diverged at %d", i)
+		}
+		if mp.Keys[i] != ref.Keys[i] {
+			t.Fatalf("SPMD diverged at %d", i)
+		}
+	}
+	// Block sorting on the rectangular schedule.
+	blocks := workload.Uniform(nw.Nodes()*8, 1)
+	st, err := s.SortBlocks(blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(blocks) || st.Rounds != s.Depth() {
+		t.Error("rect block sort failed")
+	}
+}
+
+func TestRectGridRender(t *testing.T) {
+	nw, err := RectGrid(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Sorted(8, 0)
+	out := nw.Render(keys)
+	// 2 rows of 4 cells each, snake order: row 0 = 0 1 2 3, row 1 = 7 6 5 4.
+	if out != "0 1 2 3\n7 6 5 4\n" {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRectGridName(t *testing.T) {
+	nw, err := RectGrid(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name() != "path2*path3*path4" {
+		t.Errorf("name %q", nw.Name())
+	}
+}

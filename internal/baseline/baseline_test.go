@@ -1,0 +1,375 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+func randKeys(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(5 * n))
+	}
+	return ks
+}
+
+func isSorted(ks []Key) bool {
+	for i := 1; i < len(ks); i++ {
+		if ks[i] < ks[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOddEvenMergeNetworkZeroOne(t *testing.T) {
+	for n := 1; n <= 18; n++ {
+		nw := OddEvenMergeNetwork(n)
+		if !nw.SortsAllZeroOne() {
+			t.Fatalf("odd-even merge network n=%d fails 0-1 principle", n)
+		}
+	}
+}
+
+func TestBitonicNetworkZeroOne(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		nw := BitonicNetwork(n)
+		if !nw.SortsAllZeroOne() {
+			t.Fatalf("bitonic network n=%d fails 0-1 principle", n)
+		}
+	}
+}
+
+func TestOddEvenTranspositionZeroOne(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		nw := OddEvenTranspositionNetwork(n)
+		if !nw.SortsAllZeroOne() {
+			t.Fatalf("odd-even transposition n=%d fails 0-1 principle", n)
+		}
+	}
+}
+
+func TestBitonicNetworkRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted n=6")
+		}
+	}()
+	BitonicNetwork(6)
+}
+
+func TestNetworkDepths(t *testing.T) {
+	// Batcher's odd-even merge sort for n=2^q has depth q(q+1)/2.
+	cases := []struct{ n, want int }{
+		{2, 1}, {4, 3}, {8, 6}, {16, 10}, {32, 15},
+	}
+	for _, c := range cases {
+		if got := OddEvenMergeNetwork(c.n).Depth(); got != c.want {
+			t.Errorf("OEM depth(%d)=%d want %d", c.n, got, c.want)
+		}
+		if got := BitonicNetwork(c.n).Depth(); got != c.want {
+			t.Errorf("bitonic depth(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+	if got := OddEvenTranspositionNetwork(7).Depth(); got != 7 {
+		t.Errorf("OET depth(7)=%d want 7", got)
+	}
+}
+
+func TestNetworkSizes(t *testing.T) {
+	// Known comparator counts: OEM n=8 has 19, bitonic n=8 has 24.
+	if got := OddEvenMergeNetwork(8).Size(); got != 19 {
+		t.Errorf("OEM size(8)=%d want 19", got)
+	}
+	if got := BitonicNetwork(8).Size(); got != 24 {
+		t.Errorf("bitonic size(8)=%d want 24", got)
+	}
+	// OET n: n rounds of alternating ⌈(n-1)/2⌉/⌊(n-1)/2⌋ comparators,
+	// totals n(n-1)/2 for even n.
+	if got := OddEvenTranspositionNetwork(6).Size(); got != 15 {
+		t.Errorf("OET size(6)=%d want 15", got)
+	}
+}
+
+func TestApplyPanicsOnWrongLength(t *testing.T) {
+	nw := OddEvenMergeNetwork(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong length accepted")
+		}
+	}()
+	nw.Apply(make([]Key, 3))
+}
+
+func TestNetworksSortRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		ks := randKeys(16, seed)
+		a := append([]Key(nil), ks...)
+		OddEvenMergeNetwork(16).Apply(a)
+		if !isSorted(a) {
+			t.Fatalf("OEM failed on seed %d", seed)
+		}
+		b := append([]Key(nil), ks...)
+		BitonicNetwork(16).Apply(b)
+		if !isSorted(b) {
+			t.Fatalf("bitonic failed on seed %d", seed)
+		}
+		c := append([]Key(nil), ks...)
+		OddEvenTranspositionNetwork(16).Apply(c)
+		if !isSorted(c) {
+			t.Fatalf("OET failed on seed %d", seed)
+		}
+	}
+	// Odd lengths through the padded OEM network.
+	for _, n := range []int{3, 5, 7, 11, 13} {
+		ks := randKeys(n, int64(n))
+		OddEvenMergeNetwork(n).Apply(ks)
+		if !isSorted(ks) {
+			t.Fatalf("OEM failed on odd length %d", n)
+		}
+	}
+}
+
+func TestColumnsortValidation(t *testing.T) {
+	if _, err := Columnsort(make([]Key, 7), 4, 2); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := Columnsort(make([]Key, 12), 6, 2); err != nil {
+		t.Errorf("valid 6x2 rejected: %v", err)
+	}
+	if _, err := Columnsort(make([]Key, 12), 4, 3); err == nil {
+		t.Error("r < 2(s-1)² accepted")
+	}
+	if _, err := Columnsort(make([]Key, 8), 2, 4); err == nil {
+		t.Error("s∤r accepted")
+	}
+	if _, err := Columnsort(nil, 0, 0); err == nil {
+		t.Error("empty shape accepted")
+	}
+}
+
+func TestColumnsortZeroOneExhaustive(t *testing.T) {
+	// 4x2 (8 keys) and 6x2 (12 keys): exhaust all 0-1 inputs.
+	shapes := []struct{ r, s int }{{4, 2}, {6, 2}, {8, 2}}
+	for _, sh := range shapes {
+		n := sh.r * sh.s
+		for mask := 0; mask < 1<<n; mask++ {
+			keys := make([]Key, n)
+			for i := range keys {
+				keys[i] = Key(mask >> i & 1)
+			}
+			if _, err := Columnsort(keys, sh.r, sh.s); err != nil {
+				t.Fatal(err)
+			}
+			if !isSorted(keys) {
+				t.Fatalf("columnsort %dx%d failed 0-1 input %b: %v", sh.r, sh.s, mask, keys)
+			}
+		}
+	}
+}
+
+func TestColumnsortRandomLarger(t *testing.T) {
+	shapes := []struct{ r, s int }{{8, 2}, {9, 3}, {18, 3}, {32, 4}, {16, 2}}
+	for _, sh := range shapes {
+		if sh.r < 2*(sh.s-1)*(sh.s-1) {
+			t.Fatalf("test shape %dx%d violates condition", sh.r, sh.s)
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			keys := randKeys(sh.r*sh.s, seed)
+			want := SequentialSortedCopy(keys)
+			st, err := Columnsort(keys, sh.r, sh.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("columnsort %dx%d seed %d wrong at %d", sh.r, sh.s, seed, i)
+				}
+			}
+			if st.ColumnSorts != 4 || st.PermutationSteps != 4 {
+				t.Errorf("stats: %+v", st)
+			}
+		}
+	}
+}
+
+func TestColumnsortShape(t *testing.T) {
+	r, s, err := ColumnsortShape(27)
+	if err != nil || s != 3 || r != 9 {
+		t.Errorf("shape(27) = %d,%d,%v", r, s, err)
+	}
+	// 18 has no valid shape: 6x3 violates r ≥ 2(s-1)², 9x2 violates s|r.
+	if _, _, err := ColumnsortShape(18); err == nil {
+		t.Error("shape(18) should not exist")
+	}
+	if _, _, err := ColumnsortShape(7); err == nil {
+		t.Error("prime size should have no nontrivial shape")
+	}
+	r, s, err = ColumnsortShape(128)
+	if err != nil {
+		t.Fatalf("shape(128): %v", err)
+	}
+	if r*s != 128 || r%s != 0 || r < 2*(s-1)*(s-1) {
+		t.Errorf("shape(128) invalid: %dx%d", r, s)
+	}
+}
+
+func TestBitonicOnHypercube(t *testing.T) {
+	for _, r := range []int{2, 3, 4, 5, 6} {
+		net := product.MustNew(graph.K2(), r)
+		keys := randKeys(net.Nodes(), int64(r))
+		m := simnet.MustNew(net, keys)
+		BitonicOnHypercube(m)
+		if !IsSortedByID(m) {
+			t.Fatalf("r=%d: bitonic hypercube sort failed", r)
+		}
+		if got, want := m.Clock().Rounds, BitonicHypercubeRounds(r); got != want {
+			t.Errorf("r=%d: rounds=%d want %d", r, got, want)
+		}
+		// Multiset preserved.
+		got := m.Keys()
+		want := SequentialSortedCopy(keys)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("r=%d: key multiset changed", r)
+			}
+		}
+	}
+}
+
+func TestBitonicOnHypercubeZeroOneExhaustive(t *testing.T) {
+	net := product.MustNew(graph.K2(), 4)
+	for mask := 0; mask < 1<<16; mask++ {
+		keys := make([]Key, 16)
+		for i := range keys {
+			keys[i] = Key(mask >> i & 1)
+		}
+		m := simnet.MustNew(net, keys)
+		BitonicOnHypercube(m)
+		if !IsSortedByID(m) {
+			t.Fatalf("0-1 input %016b unsorted", mask)
+		}
+	}
+}
+
+func TestBitonicOnHypercubeRejectsBigFactor(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	m := simnet.MustNew(net, make([]Key, 9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted N=3 factor")
+		}
+	}()
+	BitonicOnHypercube(m)
+}
+
+// Property: OEM network sorts arbitrary inputs (spot-checked against the
+// standard library).
+func TestQuickOEMSorts(t *testing.T) {
+	nw := OddEvenMergeNetwork(12)
+	f := func(raw [12]int16) bool {
+		keys := make([]Key, 12)
+		for i, v := range raw {
+			keys[i] = Key(v)
+		}
+		want := SequentialSortedCopy(keys)
+		nw.Apply(keys)
+		for i := range keys {
+			if keys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Columnsort equals the standard library sort on random input.
+func TestQuickColumnsort(t *testing.T) {
+	f := func(seed int64) bool {
+		keys := randKeys(36, seed) // 18x2 shape
+		want := SequentialSortedCopy(keys)
+		if _, err := Columnsort(keys, 18, 2); err != nil {
+			return false
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOEMNetwork256(b *testing.B) {
+	nw := OddEvenMergeNetwork(256)
+	keys := randKeys(256, 1)
+	buf := make([]Key, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		nw.Apply(buf)
+	}
+}
+
+func BenchmarkColumnsort1024(b *testing.B) {
+	keys := randKeys(1024, 1)
+	buf := make([]Key, 1024)
+	r, s, err := ColumnsortShape(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		if _, err := Columnsort(buf, r, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSnakeOETOnMachine(t *testing.T) {
+	for _, cfg := range []struct {
+		build func() *simnet.Machine
+	}{
+		{func() *simnet.Machine {
+			net := product.MustNew(graph.Path(3), 2)
+			return simnet.MustNew(net, randKeys(9, 3))
+		}},
+		{func() *simnet.Machine {
+			net := product.MustNew(graph.K2(), 4)
+			return simnet.MustNew(net, randKeys(16, 5))
+		}},
+		{func() *simnet.Machine {
+			net := product.MustNew(graph.CompleteBinaryTree(3), 2)
+			return simnet.MustNew(net, randKeys(49, 7))
+		}},
+	} {
+		m := cfg.build()
+		want := SequentialSortedCopy(m.Keys())
+		SnakeOETOnMachine(m)
+		if !m.IsSortedSnake() {
+			t.Fatal("snake OET failed to sort")
+		}
+		got := m.SnakeKeys()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatal("multiset changed")
+			}
+		}
+		if m.Net().Factor().HamiltonianLabeled() && m.Clock().Rounds != m.Net().Nodes() {
+			t.Errorf("rounds %d want %d", m.Clock().Rounds, m.Net().Nodes())
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ColumnsortStats reports the work done by one Columnsort run.
+type ColumnsortStats struct {
+	// ColumnSorts is the number of column-sorting passes (4 in the
+	// classic algorithm; each sorts all s columns in parallel).
+	ColumnSorts int
+	// Comparators is the total comparator count when column sorts use
+	// Batcher's odd-even merge network.
+	Comparators int
+	// Depth is the summed parallel comparator depth of the column sorts
+	// (permutation steps excluded; they are routing, not comparison).
+	Depth int
+	// PermutationSteps counts the data-permutation phases (4: transpose,
+	// untranspose, shift, unshift).
+	PermutationSteps int
+}
+
+// Columnsort sorts keys with Leighton's eight-step Columnsort on an
+// r×s matrix (r rows, s columns, r·s = len(keys)). It requires s | r and
+// r ≥ 2(s-1)², the classic sufficient condition. The sorted output is in
+// column-major order: column 0 holds the smallest r keys top-to-bottom,
+// then column 1, and so on. The paper discusses Columnsort as the main
+// prior multiway-merge-style algorithm; experiment E8 compares against
+// it.
+func Columnsort(keys []Key, r, s int) (ColumnsortStats, error) {
+	var st ColumnsortStats
+	if r*s != len(keys) {
+		return st, fmt.Errorf("baseline: columnsort shape %dx%d != %d keys", r, s, len(keys))
+	}
+	if s < 1 || r < 1 {
+		return st, fmt.Errorf("baseline: columnsort needs positive shape")
+	}
+	if r%s != 0 {
+		return st, fmt.Errorf("baseline: columnsort needs s | r (got r=%d, s=%d)", r, s)
+	}
+	if r < 2*(s-1)*(s-1) {
+		return st, fmt.Errorf("baseline: columnsort needs r ≥ 2(s-1)² (got r=%d, s=%d)", r, s)
+	}
+	colNet := OddEvenMergeNetwork(r)
+
+	// The matrix is stored column-major: m[j*r+i] is row i, column j.
+	m := make([]Key, len(keys))
+	copy(m, keys)
+
+	sortColumns := func() {
+		for j := 0; j < s; j++ {
+			colNet.Apply(m[j*r : (j+1)*r])
+		}
+		st.ColumnSorts++
+		st.Comparators += s * colNet.Size()
+		st.Depth += colNet.Depth()
+	}
+	// transpose: read the matrix in column-major order, write in
+	// row-major order ("transpose and reshape").
+	transpose := func() {
+		out := make([]Key, len(m))
+		for p, v := range m { // p is the column-major rank
+			i, j := p/s, p%s // row-major coordinates of rank p
+			out[j*r+i] = v
+		}
+		m = out
+		st.PermutationSteps++
+	}
+	untranspose := func() {
+		out := make([]Key, len(m))
+		for p := range m {
+			i, j := p/s, p%s
+			out[p] = m[j*r+i]
+		}
+		m = out
+		st.PermutationSteps++
+	}
+
+	sortColumns() // step 1
+	transpose()   // step 2
+	sortColumns() // step 3
+	untranspose() // step 4
+	sortColumns() // step 5
+
+	// Steps 6–8: shift forward by r/2 in column-major order into an
+	// (s+1)-column matrix padded with -∞ / +∞, sort the columns, unshift.
+	half := r / 2
+	ext := make([]Key, (s+1)*r)
+	for i := 0; i < half; i++ {
+		ext[i] = math.MinInt64
+	}
+	copy(ext[half:], m)
+	for i := half + len(m); i < len(ext); i++ {
+		ext[i] = math.MaxInt64
+	}
+	for j := 0; j <= s; j++ {
+		colNet.Apply(ext[j*r : (j+1)*r])
+	}
+	st.ColumnSorts++
+	st.Comparators += (s + 1) * colNet.Size()
+	st.Depth += colNet.Depth()
+	st.PermutationSteps += 2 // shift and unshift
+	copy(m, ext[half:half+len(m)])
+
+	copy(keys, m)
+	return st, nil
+}
+
+// ColumnsortShape picks a valid (r, s) shape for n keys: the largest s
+// with s | r, r·s = n, and r ≥ 2(s-1)². Returns an error if only the
+// degenerate s=1 shape exists (in which case Columnsort is a plain
+// sort).
+func ColumnsortShape(n int) (r, s int, err error) {
+	best := 1
+	for cand := 2; cand*cand <= n*2; cand++ {
+		if n%cand != 0 {
+			continue
+		}
+		rows := n / cand
+		if rows%cand == 0 && rows >= 2*(cand-1)*(cand-1) {
+			best = cand
+		}
+	}
+	if best == 1 {
+		return n, 1, fmt.Errorf("baseline: no nontrivial columnsort shape for %d keys", n)
+	}
+	return n / best, best, nil
+}
+
+// SequentialSortedCopy returns a sorted copy of keys using the standard
+// library; the correctness oracle for every other algorithm here.
+func SequentialSortedCopy(keys []Key) []Key {
+	out := append([]Key(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"productsort/internal/simnet"
+)
+
+// BitonicOnHypercube sorts the machine's keys into ascending node-id
+// order using Batcher's bitonic sort mapped to the hypercube: every
+// comparator joins nodes differing in exactly one bit, so each of the
+// r(r+1)/2 stages is one compare-exchange round on the machine. The
+// machine's factor must be K2 (N=2).
+//
+// This is the classic specialized algorithm the paper measures itself
+// against on the hypercube (Section 5.3): its round count is the
+// comparison point for experiment E6.
+func BitonicOnHypercube(m *simnet.Machine) {
+	net := m.Net()
+	if net.N() != 2 {
+		panic("baseline: bitonic-on-hypercube requires an N=2 factor")
+	}
+	nodes := net.Nodes()
+	for k := 2; k <= nodes; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			var pairs [][2]int
+			for i := 0; i < nodes; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				if i&k == 0 {
+					pairs = append(pairs, [2]int{i, l})
+				} else {
+					pairs = append(pairs, [2]int{l, i})
+				}
+			}
+			m.CompareExchange(pairs)
+		}
+	}
+}
+
+// BitonicHypercubeRounds returns the parallel round count of
+// BitonicOnHypercube on the r-dimensional hypercube: r(r+1)/2.
+func BitonicHypercubeRounds(r int) int { return r * (r + 1) / 2 }
+
+// IsSortedByID reports whether the machine's keys are nondecreasing in
+// node-id order (the output order of the hypercube bitonic sort).
+func IsSortedByID(m *simnet.Machine) bool {
+	keys := m.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnakeOETOnMachine sorts any product network's keys by plain odd-even
+// transposition along the global snake order: total rounds equal to the
+// node count. Snake-consecutive nodes differ in exactly one dimension,
+// so every comparator is machine-legal on any factor (routed when the
+// factor is not Hamiltonian-labeled). This is the naive generic
+// baseline the multiway merge is measured against on equal terms.
+func SnakeOETOnMachine(m *simnet.Machine) {
+	net := m.Net()
+	total := net.Nodes()
+	ids := make([]int, total)
+	for pos := range ids {
+		ids[pos] = net.NodeAtSnake(pos)
+	}
+	for t := 0; t < total; t++ {
+		var pairs [][2]int
+		for p := t % 2; p+1 < total; p += 2 {
+			pairs = append(pairs, [2]int{ids[p], ids[p+1]})
+		}
+		m.CompareExchange(pairs)
+	}
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import "fmt"
+
+// This file realizes Section 3.2's remark that the multiway-merge
+// recursion also yields comparator networks ("if we are interested in
+// building a sorting network …"). MultiwayMergeNetwork builds a sorting
+// network for N^k inputs whose structure is exactly the paper's
+// algorithm: recursive N-way merges whose Steps 1 and 3 are wire
+// permutations (free in a network), with odd-even-merge subnetworks in
+// the role of the assumed N²-sorter.
+
+// MultiwayMergeNetwork returns a sorting network for n^k inputs built
+// from the paper's multiway-merge recursion with fan-in n. Requires
+// n ≥ 2 and k ≥ 2.
+func MultiwayMergeNetwork(n, k int) Network {
+	if n < 2 || k < 2 {
+		panic("baseline: multiway network needs n ≥ 2, k ≥ 2")
+	}
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= n
+	}
+	pos := make([]int, total)
+	for i := range pos {
+		pos[i] = i
+	}
+	comps, out := mwSort(n, pos)
+	// The construction sorts "along out": out[i] holds rank i. Relabel
+	// wires so the network sorts into index order.
+	rank := make([]int, total)
+	for i, p := range out {
+		rank[p] = i
+	}
+	relabeled := make([]Comparator, len(comps))
+	for i, c := range comps {
+		relabeled[i] = Comparator{I: rank[c.I], J: rank[c.J]}
+	}
+	return Network{N: total, Comps: relabeled}
+}
+
+// mwSort sorts the given wire positions: returns comparators plus the
+// output order (out[i] holds the i-th smallest afterwards).
+func mwSort(n int, pos []int) ([]Comparator, []int) {
+	if len(pos) <= n*n {
+		return oemOn(pos, false), pos
+	}
+	m := len(pos) / n
+	var comps []Comparator
+	groups := make([][]int, n)
+	for u := 0; u < n; u++ {
+		c, out := mwSort(n, pos[u*m:(u+1)*m])
+		comps = append(comps, c...)
+		groups[u] = out
+	}
+	mc, out := mwMerge(n, groups)
+	return append(comps, mc...), out
+}
+
+// mwMerge merges n sorted wire groups (each group's slice is in sorted
+// order) into a single sorted order, following Steps 1–4.
+func mwMerge(n int, groups [][]int) ([]Comparator, []int) {
+	m := len(groups[0])
+	if m == n {
+		// Columns would hold one element per group; sort the n² wires
+		// directly (Section 3.2's base situation).
+		var flat []int
+		for _, g := range groups {
+			flat = append(flat, g...)
+		}
+		return oemOn(flat, false), flat
+	}
+	var comps []Comparator
+	// Steps 1–2: column v of group u holds the wires at snake-array
+	// positions v, 2n-v-1, 2n+v, … within the group's sorted order;
+	// merge each column across the groups recursively.
+	rows := m / n
+	colOut := make([][]int, n)
+	for v := 0; v < n; v++ {
+		sub := make([][]int, n)
+		for u := 0; u < n; u++ {
+			col := make([]int, 0, rows)
+			for j := 0; j < rows; j++ {
+				idx := j * n
+				if j%2 == 0 {
+					idx += v
+				} else {
+					idx += n - 1 - v
+				}
+				col = append(col, groups[u][idx])
+			}
+			sub[u] = col
+		}
+		c, out := mwMerge(n, sub)
+		comps = append(comps, c...)
+		colOut[v] = out
+	}
+	// Step 3: interleave (a wire permutation — free).
+	d := make([]int, 0, n*m)
+	for j := 0; j < m; j++ {
+		for v := 0; v < n; v++ {
+			d = append(d, colOut[v][j])
+		}
+	}
+	// Step 4: chunks of n² wires; alternate-direction sorts, two
+	// element-wise transposition steps, ascending sorts.
+	chunk := n * n
+	chunks := len(d) / chunk
+	for z := 0; z < chunks; z++ {
+		comps = append(comps, oemOn(d[z*chunk:(z+1)*chunk], z%2 == 1)...)
+	}
+	for phase := 0; phase < 2; phase++ {
+		for z := phase; z+1 < chunks; z += 2 {
+			for t := 0; t < chunk; t++ {
+				comps = append(comps, Comparator{I: d[z*chunk+t], J: d[(z+1)*chunk+t]})
+			}
+		}
+	}
+	for z := 0; z < chunks; z++ {
+		comps = append(comps, oemOn(d[z*chunk:(z+1)*chunk], false)...)
+	}
+	return comps, d
+}
+
+// oemOn maps Batcher's odd-even merge sorting network onto the given
+// wires, ascending along the slice order, or descending when reverse.
+func oemOn(wires []int, reverse bool) []Comparator {
+	base := OddEvenMergeNetwork(len(wires))
+	out := make([]Comparator, len(base.Comps))
+	for i, c := range base.Comps {
+		a, b := wires[c.I], wires[c.J]
+		if reverse {
+			a, b = b, a
+		}
+		out[i] = Comparator{I: a, J: b}
+	}
+	return out
+}
+
+// MultiwayMergeNetworkSize is a convenience for reports: builds the
+// network and returns (size, depth).
+func MultiwayMergeNetworkSize(n, k int) (size, depth int) {
+	nw := MultiwayMergeNetwork(n, k)
+	return nw.Size(), nw.Depth()
+}
+
+// String renders basic statistics.
+func (nw Network) String() string {
+	return fmt.Sprintf("network(n=%d, comparators=%d, depth=%d)", nw.N, nw.Size(), nw.Depth())
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiwayNetworkZeroOneExhaustive(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{2, 2}, {2, 3}, {2, 4}, {3, 2}, {4, 2}, {2, 5} /* wait: 32 > 22? no: handled below */}
+	for _, c := range cases {
+		total := 1
+		for i := 0; i < c.k; i++ {
+			total *= c.n
+		}
+		if total > 20 {
+			continue
+		}
+		nw := MultiwayMergeNetwork(c.n, c.k)
+		if !nw.SortsAllZeroOne() {
+			t.Fatalf("multiway network n=%d k=%d fails the 0-1 principle", c.n, c.k)
+		}
+	}
+}
+
+func TestMultiwayNetworkRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, c := range []struct{ n, k int }{{2, 5}, {3, 3}, {4, 3}, {2, 6}, {5, 2}} {
+		nw := MultiwayMergeNetwork(c.n, c.k)
+		for trial := 0; trial < 20; trial++ {
+			keys := make([]Key, nw.N)
+			for i := range keys {
+				keys[i] = Key(rng.Intn(200))
+			}
+			want := SequentialSortedCopy(keys)
+			nw.Apply(keys)
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("n=%d k=%d trial %d: wrong at %d", c.n, c.k, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiwayNetworkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=1 accepted")
+		}
+	}()
+	MultiwayMergeNetwork(3, 1)
+}
+
+// TestMultiwayNetworkVsBatcher documents the size relationship the
+// paper's Section 3.2 leaves open: the multiway construction is larger
+// than Batcher's by a constant factor at these sizes.
+func TestMultiwayNetworkVsBatcher(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{2, 4}, {2, 6}, {4, 3}} {
+		nw := MultiwayMergeNetwork(c.n, c.k)
+		oem := OddEvenMergeNetwork(nw.N)
+		ratio := float64(nw.Size()) / float64(oem.Size())
+		if ratio > 16 {
+			t.Errorf("n=%d k=%d: multiway %d vs OEM %d comparators (ratio %.1f too large)",
+				c.n, c.k, nw.Size(), oem.Size(), ratio)
+		}
+		t.Logf("n=%d k=%d (%d inputs): multiway size=%d depth=%d; OEM size=%d depth=%d",
+			c.n, c.k, nw.N, nw.Size(), nw.Depth(), oem.Size(), oem.Depth())
+	}
+}
+
+func TestMultiwayNetworkSizeHelper(t *testing.T) {
+	s, d := MultiwayMergeNetworkSize(2, 3)
+	nw := MultiwayMergeNetwork(2, 3)
+	if s != nw.Size() || d != nw.Depth() {
+		t.Error("size helper inconsistent")
+	}
+	if nw.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func BenchmarkMultiwayNetwork256(b *testing.B) {
+	nw := MultiwayMergeNetwork(4, 4)
+	keys := randKeys(256, 1)
+	buf := make([]Key, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		nw.Apply(buf)
+	}
+}
+
+func TestPruneZeroOne(t *testing.T) {
+	// A network with a duplicated comparator: the duplicate never fires.
+	nw := Network{N: 3, Comps: []Comparator{{0, 1}, {0, 1}, {1, 2}, {0, 1}}}
+	pruned := nw.PruneZeroOne()
+	if !pruned.SortsAllZeroOne() {
+		t.Fatal("pruned network no longer sorts")
+	}
+	if pruned.Size() >= nw.Size() {
+		t.Errorf("nothing pruned: %d -> %d", nw.Size(), pruned.Size())
+	}
+	// Batcher's OEM is already irredundant at small sizes.
+	oem := OddEvenMergeNetwork(8)
+	if got := oem.PruneZeroOne().Size(); got != oem.Size() {
+		t.Errorf("OEM(8) pruned from %d to %d — unexpected redundancy", oem.Size(), got)
+	}
+}
+
+func TestPruneMultiwayNetwork(t *testing.T) {
+	// The multiway construction carries redundancy (e.g. Step 4 re-sorts
+	// mostly-sorted chunks); pruning must shrink it and keep it sorting.
+	nw := MultiwayMergeNetwork(2, 4) // 16 inputs
+	pruned := nw.PruneZeroOne()
+	if !pruned.SortsAllZeroOne() {
+		t.Fatal("pruned multiway network no longer sorts")
+	}
+	if pruned.Size() > nw.Size() {
+		t.Fatal("pruning grew the network")
+	}
+	t.Logf("multiway(2,4): %d -> %d comparators after pruning (OEM: %d)",
+		nw.Size(), pruned.Size(), OddEvenMergeNetwork(16).Size())
+}
+
+func TestPrunePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Network{N: 30}.PruneZeroOne()
+}

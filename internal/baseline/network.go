@@ -1,0 +1,202 @@
+// Package baseline implements the classical sorting algorithms the paper
+// compares against or builds upon: Batcher's odd-even merge sort and
+// bitonic sort (as comparator networks), odd-even transposition sort,
+// and Leighton's Columnsort. These provide the comparison points for the
+// experiments in EXPERIMENTS.md.
+package baseline
+
+import (
+	"fmt"
+
+	"productsort/internal/simnet"
+)
+
+// Key mirrors simnet.Key so baselines and the simulator sort the same
+// values.
+type Key = simnet.Key
+
+// Comparator orders two positions of a sequence: after application,
+// keys[I] <= keys[J].
+type Comparator struct {
+	I, J int
+}
+
+// Network is a comparator network over sequences of length N.
+type Network struct {
+	N     int
+	Comps []Comparator
+}
+
+// Apply runs the network over keys in place. len(keys) must equal N.
+func (nw Network) Apply(keys []Key) {
+	if len(keys) != nw.N {
+		panic(fmt.Sprintf("baseline: %d keys for %d-input network", len(keys), nw.N))
+	}
+	for _, c := range nw.Comps {
+		if keys[c.I] > keys[c.J] {
+			keys[c.I], keys[c.J] = keys[c.J], keys[c.I]
+		}
+	}
+}
+
+// Depth returns the parallel depth of the network: the number of rounds
+// when independent comparators execute simultaneously, computed by
+// greedy leveling in comparator order.
+func (nw Network) Depth() int {
+	level := make([]int, nw.N)
+	depth := 0
+	for _, c := range nw.Comps {
+		l := level[c.I]
+		if level[c.J] > l {
+			l = level[c.J]
+		}
+		l++
+		level[c.I], level[c.J] = l, l
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Size returns the number of comparators.
+func (nw Network) Size() int { return len(nw.Comps) }
+
+// SortsAllZeroOne exhaustively verifies the zero-one principle for the
+// network; feasible for N up to ~22.
+func (nw Network) SortsAllZeroOne() bool {
+	if nw.N > 22 {
+		panic("baseline: exhaustive 0-1 check too large")
+	}
+	keys := make([]Key, nw.N)
+	for mask := 0; mask < 1<<nw.N; mask++ {
+		for i := range keys {
+			keys[i] = Key(mask >> i & 1)
+		}
+		nw.Apply(keys)
+		for i := 1; i < nw.N; i++ {
+			if keys[i] < keys[i-1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OddEvenMergeNetwork returns Batcher's odd-even merge sorting network
+// for any n ≥ 1. For non-powers of two the power-of-two network is built
+// and comparators touching positions ≥ n are dropped; this is sound
+// because such positions can be imagined to hold +∞ sentinels that never
+// move (every comparator sends its maximum to the higher index).
+func OddEvenMergeNetwork(n int) Network {
+	if n < 1 {
+		panic("baseline: network size must be positive")
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	var comps []Comparator
+	add := func(i, j int) {
+		if j < n { // i < j always
+			comps = append(comps, Comparator{i, j})
+		}
+	}
+	// Recursive construction over index range [lo, lo+m) with m a power
+	// of two.
+	var merge func(lo, m, step int)
+	merge = func(lo, m, step int) {
+		if m <= 1 {
+			return
+		}
+		merge(lo, m/2, step*2)
+		merge(lo+step, m/2, step*2)
+		for i := 1; i+1 < m; i += 2 {
+			add(lo+i*step, lo+(i+1)*step)
+		}
+		if m == 2 {
+			add(lo, lo+step)
+		}
+	}
+	var sortRange func(lo, m int)
+	sortRange = func(lo, m int) {
+		if m <= 1 {
+			return
+		}
+		sortRange(lo, m/2)
+		sortRange(lo+m/2, m/2)
+		merge(lo, m, 1)
+	}
+	sortRange(0, p)
+	return Network{N: n, Comps: comps}
+}
+
+// BitonicNetwork returns Batcher's bitonic sorting network for n a power
+// of two. Comparator direction is encoded by operand order: the minimum
+// always lands on the first index, so descending comparators simply list
+// the higher index first.
+func BitonicNetwork(n int) Network {
+	if n < 1 || n&(n-1) != 0 {
+		panic("baseline: bitonic network requires a power-of-two size")
+	}
+	var comps []Comparator
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				if i&k == 0 {
+					comps = append(comps, Comparator{i, l})
+				} else {
+					comps = append(comps, Comparator{l, i})
+				}
+			}
+		}
+	}
+	return Network{N: n, Comps: comps}
+}
+
+// OddEvenTranspositionNetwork returns the n-round brick-wall network
+// that sorts on a linear array.
+func OddEvenTranspositionNetwork(n int) Network {
+	var comps []Comparator
+	for t := 0; t < n; t++ {
+		for i := t % 2; i+1 < n; i += 2 {
+			comps = append(comps, Comparator{i, i + 1})
+		}
+	}
+	return Network{N: n, Comps: comps}
+}
+
+// PruneZeroOne removes comparators that never exchange on any zero-one
+// input (and therefore never exchange on any input, by the 0-1
+// principle): an exact redundancy eliminator for networks with up to
+// ~22 inputs. The relative order of the surviving comparators is
+// preserved, so the result is still a sorting network.
+func (nw Network) PruneZeroOne() Network {
+	if nw.N > 22 {
+		panic("baseline: exhaustive pruning too large")
+	}
+	used := make([]bool, len(nw.Comps))
+	keys := make([]Key, nw.N)
+	for mask := 0; mask < 1<<nw.N; mask++ {
+		for i := range keys {
+			keys[i] = Key(mask >> i & 1)
+		}
+		for ci, c := range nw.Comps {
+			if keys[c.I] > keys[c.J] {
+				keys[c.I], keys[c.J] = keys[c.J], keys[c.I]
+				used[ci] = true
+			}
+		}
+	}
+	var comps []Comparator
+	for ci, c := range nw.Comps {
+		if used[ci] {
+			comps = append(comps, c)
+		}
+	}
+	return Network{N: nw.N, Comps: comps}
+}

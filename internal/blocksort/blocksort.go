@@ -1,0 +1,89 @@
+// Package blocksort extends the sorting algorithm to the practical
+// regime where each processor holds a block of keys rather than one
+// (keys ≫ processors — the setting in which the paper's Section 1 notes
+// multiway algorithms "behave nicely").
+//
+// It relies on the classic comparator theorem: if every processor first
+// sorts its local block and every compare-exchange of a sorting network
+// is replaced by a merge-split (the pair merges its two blocks; the low
+// side keeps the smaller half, the high side the larger), the network
+// sorts the blocked sequence. Because the multiway-merge algorithm is
+// oblivious, its recorded schedule (package mergenet) is exactly such a
+// network, so the parallel round count is *unchanged* while each round
+// moves a block instead of a key.
+package blocksort
+
+import (
+	"fmt"
+	"sort"
+
+	"productsort/internal/mergenet"
+	"productsort/internal/simnet"
+)
+
+// Key aliases the machine key type.
+type Key = simnet.Key
+
+// Stats reports the work of one blocked sort.
+type Stats struct {
+	// Rounds is the number of parallel merge-split rounds (equals the
+	// schedule's depth; independent of the block size).
+	Rounds int
+	// MergeSplits is the total number of merge-split operations.
+	MergeSplits int
+	// KeysMoved counts keys transferred between processors (every
+	// merge-split ships one block each way).
+	KeysMoved int
+}
+
+// Sort sorts keys in place using the schedule with blockSize keys per
+// processor. len(keys) must equal schedule.Inputs × blockSize. On
+// return, keys is globally sorted: block i (the keys of snake position
+// i's processor) holds the i-th smallest blockSize keys in order.
+func Sort(s *mergenet.Schedule, keys []Key, blockSize int) (Stats, error) {
+	var st Stats
+	if blockSize < 1 {
+		return st, fmt.Errorf("blocksort: block size %d < 1", blockSize)
+	}
+	if len(keys) != s.Inputs*blockSize {
+		return st, fmt.Errorf("blocksort: %d keys for %d processors × block %d",
+			len(keys), s.Inputs, blockSize)
+	}
+	// Local pre-sort of every block.
+	for p := 0; p < s.Inputs; p++ {
+		blk := keys[p*blockSize : (p+1)*blockSize]
+		sort.Slice(blk, func(i, j int) bool { return blk[i] < blk[j] })
+	}
+	buf := make([]Key, 2*blockSize)
+	for _, phase := range s.Phases {
+		st.Rounds++
+		for _, pr := range phase {
+			lo := keys[pr[0]*blockSize : (pr[0]+1)*blockSize]
+			hi := keys[pr[1]*blockSize : (pr[1]+1)*blockSize]
+			mergeSplit(lo, hi, buf)
+			st.MergeSplits++
+			st.KeysMoved += 2 * blockSize
+		}
+	}
+	return st, nil
+}
+
+// mergeSplit merges two sorted blocks and splits the result: lo receives
+// the smaller half, hi the larger, both sorted.
+func mergeSplit(lo, hi, buf []Key) {
+	b := buf[:0]
+	i, j := 0, 0
+	for i < len(lo) && j < len(hi) {
+		if lo[i] <= hi[j] {
+			b = append(b, lo[i])
+			i++
+		} else {
+			b = append(b, hi[j])
+			j++
+		}
+	}
+	b = append(b, lo[i:]...)
+	b = append(b, hi[j:]...)
+	copy(lo, b[:len(lo)])
+	copy(hi, b[len(lo):])
+}

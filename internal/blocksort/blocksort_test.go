@@ -1,0 +1,185 @@
+package blocksort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"productsort/internal/graph"
+	"productsort/internal/mergenet"
+)
+
+func randomKeys(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(1000))
+	}
+	return ks
+}
+
+func isSorted(ks []Key) bool {
+	for i := 1; i < len(ks); i++ {
+		if ks[i] < ks[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortValidation(t *testing.T) {
+	s := mergenet.MustExtract(graph.K2(), 3, nil)
+	if _, err := Sort(s, make([]Key, 8), 0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	if _, err := Sort(s, make([]Key, 9), 2); err == nil {
+		t.Error("wrong key count accepted")
+	}
+}
+
+func TestBlockSizeOneEqualsSchedule(t *testing.T) {
+	s := mergenet.MustExtract(graph.Path(3), 2, nil)
+	keys := randomKeys(9, 1)
+	viaBlocks := append([]Key(nil), keys...)
+	viaApply := append([]Key(nil), keys...)
+	if _, err := Sort(s, viaBlocks, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Apply(viaApply)
+	for i := range keys {
+		if viaBlocks[i] != viaApply[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestSortsAcrossNetworksAndBlockSizes(t *testing.T) {
+	cfgs := []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.Path(3), 3}, {graph.K2(), 5}, {graph.Petersen(), 2},
+		{graph.CompleteBinaryTree(3), 2}, {graph.Cycle(4), 3},
+	}
+	for _, c := range cfgs {
+		s := mergenet.MustExtract(c.g, c.r, nil)
+		for _, bs := range []int{1, 2, 4, 7, 16} {
+			keys := randomKeys(s.Inputs*bs, int64(bs))
+			want := append([]Key(nil), keys...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			st, err := Sort(s, keys, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !isSorted(keys) {
+				t.Fatalf("%s block=%d: unsorted", s.Network, bs)
+			}
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("%s block=%d: multiset changed", s.Network, bs)
+				}
+			}
+			if st.Rounds != s.Depth() {
+				t.Errorf("%s block=%d: rounds %d != schedule depth %d", s.Network, bs, st.Rounds, s.Depth())
+			}
+			if st.MergeSplits != s.Size() {
+				t.Errorf("%s block=%d: merge-splits %d != schedule size %d", s.Network, bs, st.MergeSplits, s.Size())
+			}
+			if st.KeysMoved != 2*bs*s.Size() {
+				t.Errorf("%s block=%d: keys moved %d", s.Network, bs, st.KeysMoved)
+			}
+		}
+	}
+}
+
+// TestRoundsIndependentOfBlockSize is the headline property: scaling
+// keys-per-processor leaves the parallel round count untouched.
+func TestRoundsIndependentOfBlockSize(t *testing.T) {
+	s := mergenet.MustExtract(graph.Path(4), 3, nil)
+	var prev int
+	for i, bs := range []int{1, 8, 64} {
+		keys := randomKeys(s.Inputs*bs, 9)
+		st, err := Sort(s, keys, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && st.Rounds != prev {
+			t.Fatalf("rounds changed with block size: %d vs %d", st.Rounds, prev)
+		}
+		prev = st.Rounds
+	}
+}
+
+func TestDuplicatesAndExtremes(t *testing.T) {
+	s := mergenet.MustExtract(graph.K2(), 4, nil)
+	keys := make([]Key, 16*4)
+	for i := range keys {
+		keys[i] = Key(i % 3)
+	}
+	if _, err := Sort(s, keys, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(keys) {
+		t.Fatal("duplicates broke blocksort")
+	}
+	// All-equal input.
+	for i := range keys {
+		keys[i] = 7
+	}
+	if _, err := Sort(s, keys, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(keys) {
+		t.Fatal("constant input broke blocksort")
+	}
+}
+
+func TestMergeSplitUnit(t *testing.T) {
+	lo := []Key{1, 5, 9}
+	hi := []Key{2, 3, 10}
+	mergeSplit(lo, hi, make([]Key, 6))
+	want := [][]Key{{1, 2, 3}, {5, 9, 10}}
+	for i := range lo {
+		if lo[i] != want[0][i] || hi[i] != want[1][i] {
+			t.Fatalf("mergeSplit: lo=%v hi=%v", lo, hi)
+		}
+	}
+}
+
+// Property: blocksort equals the standard library sort.
+func TestQuickBlocksort(t *testing.T) {
+	s := mergenet.MustExtract(graph.Path(3), 2, nil)
+	f := func(seed int64, bsRaw uint8) bool {
+		bs := 1 + int(bsRaw)%8
+		keys := randomKeys(9*bs, seed)
+		want := append([]Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if _, err := Sort(s, keys, bs); err != nil {
+			return false
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBlocksort64x16(b *testing.B) {
+	s := mergenet.MustExtract(graph.K2(), 6, nil)
+	keys := randomKeys(64*16, 1)
+	buf := make([]Key, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		if _, err := Sort(s, buf, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

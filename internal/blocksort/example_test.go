@@ -1,0 +1,28 @@
+package blocksort_test
+
+import (
+	"fmt"
+
+	"productsort/internal/blocksort"
+	"productsort/internal/graph"
+	"productsort/internal/mergenet"
+)
+
+// Sorting many more keys than processors: the schedule's round count is
+// unchanged; each round moves one block per exchange.
+func ExampleSort() {
+	sched := mergenet.MustExtract(graph.Path(3), 2, nil) // 9 processors
+	keys := make([]blocksort.Key, 9*4)                   // 4 keys per processor
+	for i := range keys {
+		keys[i] = blocksort.Key(len(keys) - i)
+	}
+	st, err := blocksort.Sort(sched, keys, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(keys[:6], "...", keys[30:])
+	fmt.Println("rounds:", st.Rounds == sched.Depth())
+	// Output:
+	// [1 2 3 4 5 6] ... [31 32 33 34 35 36]
+	// rounds: true
+}

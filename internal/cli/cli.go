@@ -1,0 +1,91 @@
+// Package cli holds the flag plumbing shared by the command-line tools:
+// every tool selects a product network the same way.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"productsort"
+)
+
+// NetworkFlags collects the flags that select a product network.
+type NetworkFlags struct {
+	Network *string
+	N       *int
+	R       *int
+	Levels  *int
+	DBDim   *int
+	Sides   *string
+}
+
+// RegisterNetworkFlags installs the network-selection flags on fs (or
+// flag.CommandLine when fs is nil) and returns their holder.
+func RegisterNetworkFlags(fs *flag.FlagSet) *NetworkFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &NetworkFlags{
+		Network: fs.String("network", "grid", "grid | torus | hypercube | mct | petersen | debruijn | shuffle-exchange | wheel | circulant | kautz | rect | rect-torus"),
+		N:       fs.Int("n", 4, "factor size (grid/torus side, wheel/circulant size)"),
+		R:       fs.Int("r", 3, "dimensions"),
+		Levels:  fs.Int("levels", 3, "tree levels (mct)"),
+		DBDim:   fs.Int("dbdim", 3, "de Bruijn / shuffle-exchange / Kautz dimension"),
+		Sides:   fs.String("sides", "8,4,2", "comma-separated side lengths (rect, rect-torus)"),
+	}
+}
+
+// parseSides parses the -sides flag.
+func (nf *NetworkFlags) parseSides() ([]int, error) {
+	parts := strings.Split(*nf.Sides, ",")
+	sides := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad side %q: %v", p, err)
+		}
+		sides = append(sides, v)
+	}
+	return sides, nil
+}
+
+// Build constructs the selected network.
+func (nf *NetworkFlags) Build() (*productsort.Network, error) {
+	switch *nf.Network {
+	case "grid":
+		return productsort.Grid(*nf.N, *nf.R)
+	case "torus":
+		return productsort.Torus(*nf.N, *nf.R)
+	case "hypercube":
+		return productsort.Hypercube(*nf.R)
+	case "mct":
+		return productsort.MeshConnectedTrees(*nf.Levels, *nf.R)
+	case "petersen":
+		return productsort.PetersenCube(*nf.R)
+	case "debruijn":
+		return productsort.DeBruijnProduct(2, *nf.DBDim, *nf.R)
+	case "shuffle-exchange":
+		return productsort.ShuffleExchangeProduct(*nf.DBDim, *nf.R)
+	case "wheel":
+		return productsort.WheelProduct(*nf.N, *nf.R)
+	case "circulant":
+		return productsort.CirculantProduct(*nf.N, []int{1, 2}, *nf.R)
+	case "kautz":
+		return productsort.KautzProduct(2, *nf.DBDim, *nf.R)
+	case "rect":
+		sides, err := nf.parseSides()
+		if err != nil {
+			return nil, err
+		}
+		return productsort.RectGrid(sides...)
+	case "rect-torus":
+		sides, err := nf.parseSides()
+		if err != nil {
+			return nil, err
+		}
+		return productsort.RectTorus(sides...)
+	}
+	return nil, fmt.Errorf("unknown network %q", *nf.Network)
+}

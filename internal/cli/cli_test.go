@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	kinds := []string{
+		"grid", "torus", "hypercube", "mct", "petersen",
+		"debruijn", "shuffle-exchange", "wheel", "circulant", "kautz",
+	}
+	for _, kind := range kinds {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		nf := RegisterNetworkFlags(fs)
+		if err := fs.Parse([]string{"-network", kind, "-n", "4", "-r", "2", "-dbdim", "2"}); err != nil {
+			t.Fatal(err)
+		}
+		nw, err := nf.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if nw.Nodes() < 4 {
+			t.Errorf("%s: suspiciously small network", kind)
+		}
+	}
+}
+
+func TestBuildRect(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf := RegisterNetworkFlags(fs)
+	if err := fs.Parse([]string{"-network", "rect", "-sides", "8,4,2"}); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := nf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Nodes() != 64 {
+		t.Errorf("nodes=%d", nw.Nodes())
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf2 := RegisterNetworkFlags(fs2)
+	if err := fs2.Parse([]string{"-network", "rect-torus", "-sides", "3,4,3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf2.Build(); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf3 := RegisterNetworkFlags(fs3)
+	if err := fs3.Parse([]string{"-network", "rect", "-sides", "4,x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf3.Build(); err == nil {
+		t.Error("bad sides accepted")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf := RegisterNetworkFlags(fs)
+	if err := fs.Parse([]string{"-network", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf.Build(); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestTorusValidation(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	nf := RegisterNetworkFlags(fs)
+	if err := fs.Parse([]string{"-network", "torus", "-n", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf.Build(); err == nil {
+		t.Error("torus with n=2 accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+// heteroNet builds a heterogeneous product from per-dimension factors
+// (index 0 = dimension 1).
+func heteroNet(t *testing.T, factors ...*graph.Graph) *product.Network {
+	t.Helper()
+	net, err := product.NewHetero(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestHeteroSortRectGrids(t *testing.T) {
+	cases := [][]*graph.Graph{
+		// Rectangular 2-D grids: any radix pair works for r=2.
+		{graph.Path(4), graph.Path(3)},
+		{graph.Path(2), graph.Path(7)},
+		{graph.Path(8), graph.Path(2)},
+		// 3-D: radix(2) ≥ radix(3) required; radix(1) free.
+		{graph.Path(2), graph.Path(5), graph.Path(3)},
+		{graph.Path(6), graph.Path(4), graph.Path(4)},
+		{graph.Path(3), graph.Path(3), graph.Path(2)},
+		// 4-D.
+		{graph.Path(2), graph.Path(4), graph.Path(3), graph.Path(2)},
+	}
+	for _, factors := range cases {
+		net := heteroNet(t, factors...)
+		s := New(nil)
+		for seed := int64(0); seed < 3; seed++ {
+			keys := randomKeys(net.Nodes(), seed)
+			m := simnet.MustNew(net, keys)
+			s.Sort(m)
+			checkSortedPermutation(t, m, keys)
+		}
+	}
+}
+
+func TestHeteroSortMixedFactorTypes(t *testing.T) {
+	cases := [][]*graph.Graph{
+		{graph.Cycle(4), graph.Path(5), graph.K2()},
+		{graph.Petersen(), graph.Cycle(4), graph.Path(3)},
+		{graph.K2(), graph.CompleteBinaryTree(3), graph.Path(3)}, // routed factor at dim 2
+		{graph.Star(4), graph.Complete(3), graph.K2()},
+		{graph.DeBruijn(2, 2), graph.ShuffleExchange(2), graph.Path(3)},
+	}
+	for _, factors := range cases {
+		net := heteroNet(t, factors...)
+		s := New(nil)
+		keys := randomKeys(net.Nodes(), 9)
+		m := simnet.MustNew(net, keys)
+		s.Sort(m)
+		checkSortedPermutation(t, m, keys)
+	}
+}
+
+// TestHeteroZeroOneExhaustive exhausts 0-1 inputs on small rectangular
+// networks (the zero-one principle then covers all inputs).
+func TestHeteroZeroOneExhaustive(t *testing.T) {
+	cases := [][]*graph.Graph{
+		{graph.Path(3), graph.Path(2), graph.Path(2)}, // 12 nodes
+		{graph.Path(2), graph.Path(4)},                // 8 nodes
+		{graph.Path(2), graph.Path(3), graph.Path(2)}, // 12 nodes
+		{graph.Path(4), graph.Path(2), graph.Path(2)}, // 16 nodes
+	}
+	for _, factors := range cases {
+		net := heteroNet(t, factors...)
+		size := net.Nodes()
+		s := New(nil)
+		for mask := 0; mask < 1<<size; mask++ {
+			keys := make([]simnet.Key, size)
+			for i := range keys {
+				keys[i] = simnet.Key(mask >> i & 1)
+			}
+			m := simnet.MustNew(net, keys)
+			s.Sort(m)
+			if !m.IsSortedSnake() {
+				t.Fatalf("%s: 0-1 input %b unsorted: %v", net.Name(), mask, m.SnakeKeys())
+			}
+		}
+	}
+}
+
+// TestHeteroPhaseCounts: the (r-1)² / (r-1)(r-2) structure is radix-
+// independent.
+func TestHeteroPhaseCounts(t *testing.T) {
+	net := heteroNet(t, graph.Path(2), graph.Path(5), graph.Path(4), graph.Path(3))
+	m := simnet.MustNew(net, randomKeys(net.Nodes(), 4))
+	New(nil).Sort(m)
+	clk := m.Clock()
+	if clk.S2Phases != 9 || clk.SweepPhases != 6 {
+		t.Errorf("hetero phases %d/%d want 9/6", clk.S2Phases, clk.SweepPhases)
+	}
+	if !m.IsSortedSnake() {
+		t.Error("unsorted")
+	}
+}
+
+// TestHeteroDirtyWindowBound: the generalized Lemma 1 bound N₁·N_k
+// holds on 0-1 inputs.
+func TestHeteroDirtyWindowBound(t *testing.T) {
+	factors := []*graph.Graph{graph.Path(3), graph.Path(4), graph.Path(4)}
+	net := heteroNet(t, factors...)
+	n1, nk := 3, 4
+	rng := rand.New(rand.NewSource(23))
+	s := New(nil)
+	for trial := 0; trial < 40; trial++ {
+		keys := make([]simnet.Key, net.Nodes())
+		for i := range keys {
+			keys[i] = simnet.Key(rng.Intn(2))
+		}
+		m := simnet.MustNew(net, keys)
+		s.Engine.Sort(m, 1, 2, func(int) bool { return true })
+		s.MergeSkipTopClean(m, 3)
+		if w := DirtyWindow(m.SnakeKeys()); w > n1*nk {
+			t.Fatalf("trial %d: window %d > N1*Nk=%d", trial, w, n1*nk)
+		}
+	}
+}
+
+func TestValidateRadicesPanics(t *testing.T) {
+	// radix(3)=4 > radix(2)=3: invalid.
+	net := heteroNet(t, graph.Path(5), graph.Path(3), graph.Path(4))
+	m := simnet.MustNew(net, randomKeys(net.Nodes(), 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid radix order accepted")
+		}
+	}()
+	New(nil).Sort(m)
+}
+
+func TestValidateRadicesAcceptsValid(t *testing.T) {
+	ValidateRadices(heteroNet(t, graph.Path(2), graph.Path(5), graph.Path(5), graph.Path(2)))
+	ValidateRadices(product.MustNew(graph.Path(3), 4))
+}
+
+// TestHeteroAutoEngineMix: with a K2 at dimensions 1 and 2 the auto
+// engine picks the 3-round sorter for the initial sort but shearsort
+// for merge base cases over bigger dims.
+func TestHeteroAutoEngineMix(t *testing.T) {
+	net := heteroNet(t, graph.K2(), graph.K2(), graph.K2())
+	keys := randomKeys(8, 2)
+	m := simnet.MustNew(net, keys)
+	New(nil).Sort(m)
+	checkSortedPermutation(t, m, keys)
+	// All dims are K2 here, so this must cost exactly the hypercube
+	// closed form for r=3: 14 rounds.
+	if m.Clock().Rounds != 14 {
+		t.Errorf("hetero-all-K2 rounds %d want 14", m.Clock().Rounds)
+	}
+}

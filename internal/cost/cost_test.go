@@ -1,0 +1,158 @@
+package cost
+
+import "testing"
+
+func TestMergeTime(t *testing.T) {
+	// M_2 = S2; M_3 = S2 + 2(S2+R); recurrence telescopes.
+	if got := MergeTime(2, 10, 3); got != 10 {
+		t.Errorf("M_2=%d want 10", got)
+	}
+	if got := MergeTime(3, 10, 3); got != 10+2*13 {
+		t.Errorf("M_3=%d want 36", got)
+	}
+	// M_k = M_{k-1} + 2(S2+R) for all k.
+	for k := 3; k < 9; k++ {
+		if MergeTime(k, 7, 2)-MergeTime(k-1, 7, 2) != 2*(7+2) {
+			t.Errorf("recurrence broken at k=%d", k)
+		}
+	}
+}
+
+func TestMergeTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MergeTime(1, 1, 1)
+}
+
+func TestSortTime(t *testing.T) {
+	// Theorem 1's proof: S_r = S2 + sum_{k=3..r} M_k.
+	for _, s2 := range []int{3, 10, 33} {
+		for _, rr := range []int{1, 4, 9} {
+			for r := 2; r <= 8; r++ {
+				sum := s2
+				for k := 3; k <= r; k++ {
+					sum += MergeTime(k, s2, rr)
+				}
+				if got := SortTime(r, s2, rr); got != sum {
+					t.Errorf("S_%d(s2=%d,R=%d)=%d want %d", r, s2, rr, got, sum)
+				}
+			}
+		}
+	}
+	if SortTime(1, 5, 5) != 0 {
+		t.Error("r=1 should cost 0 in the paper's accounting")
+	}
+}
+
+func TestSortTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SortTime(0, 1, 1)
+}
+
+func TestPaperConstants(t *testing.T) {
+	if GridS2(10) != 30 || GridR(10) != 9 {
+		t.Error("grid constants")
+	}
+	if TorusS2(10) != 25 || TorusR(10) != 5 || TorusR(7) != 4 {
+		t.Error("torus constants")
+	}
+	if HypercubeS2() != 3 || HypercubeR() != 1 {
+		t.Error("hypercube constants")
+	}
+	// Section 5.1: grid sorts in 4(r-1)²N + o(r²N); with S2=3N, R=N-1
+	// the exact expression is (r-1)²·3N + (r-1)(r-2)(N-1).
+	if got := GridSortTime(3, 10); got != 4*30+2*9 {
+		t.Errorf("grid sort time=%d", got)
+	}
+	// Section 5.3: hypercube 3(r-1)² + (r-1)(r-2).
+	if got := HypercubeSortTime(5); got != 3*16+4*3 {
+		t.Errorf("hypercube sort time=%d", got)
+	}
+	if BatcherHypercubeTime(6) != 21 {
+		t.Error("Batcher hypercube time")
+	}
+	if CorollaryBound(3, 10) != 720 {
+		t.Error("corollary bound")
+	}
+}
+
+func TestSection5Rows(t *testing.T) {
+	rows := Section5()
+	if len(rows) != 6 {
+		t.Fatalf("%d families", len(rows))
+	}
+	for _, row := range rows {
+		if row.Family == "" || row.FactorName == "" || row.Class == "" {
+			t.Errorf("incomplete row %+v", row)
+		}
+		if row.LeadTime == nil {
+			t.Errorf("%s: no lead-time function", row.Family)
+		}
+	}
+	if rows[0].LeadTime(3, 4) != GridSortTime(3, 4) {
+		t.Error("grid row lead time mismatch")
+	}
+	if rows[3].LeadTime(3, 10) != -1 {
+		t.Error("Petersen row should report no closed form")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	Check(4, 9, 6) // matches Theorem 1 exactly: must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch accepted")
+		}
+	}()
+	Check(4, 9, 5)
+}
+
+func TestSection5LeadTimes(t *testing.T) {
+	for _, row := range Section5() {
+		v := row.LeadTime(3, 8)
+		switch row.Family {
+		case "grid":
+			if v != GridSortTime(3, 8) {
+				t.Errorf("grid lead time %d", v)
+			}
+		case "mesh-connected trees":
+			if v != CorollaryBound(3, 8) {
+				t.Errorf("mct lead time %d", v)
+			}
+		case "hypercube":
+			if v != HypercubeSortTime(3) {
+				t.Errorf("hypercube lead time %d", v)
+			}
+		default:
+			if v != -1 {
+				t.Errorf("%s: expected no closed form, got %d", row.Family, v)
+			}
+		}
+	}
+}
+
+func TestDeBruijnModel(t *testing.T) {
+	// N=8: log2(64)=6 → S2 = 2·6·7/2 = 42.
+	if got := DeBruijnS2Model(8); got != 42 {
+		t.Errorf("DeBruijnS2Model(8)=%d want 42", got)
+	}
+	if DeBruijnRModel() != 2 {
+		t.Error("R model")
+	}
+	if got := DeBruijnSortModel(2, 8); got != SortTime(2, 42, 2) {
+		t.Errorf("DeBruijnSortModel=%d", got)
+	}
+	// O(log²N) class: model/log2²N roughly constant for fixed r.
+	a := float64(DeBruijnSortModel(2, 16)) / (4 * 4)
+	b := float64(DeBruijnSortModel(2, 256)) / (8 * 8)
+	if a/b > 1.6 || b/a > 1.6 {
+		t.Errorf("log²N class violated: %f vs %f", a, b)
+	}
+}

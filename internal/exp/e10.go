@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"math/rand"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// E10LabelingAblation quantifies the paper's Section 2 remark that
+// labeling the factor along a Hamiltonian path — or, failing that, a
+// dilation-3 linear-array embedding — "would provide a speed improvement
+// over an arbitrary labeling, by a constant factor". Three labelings of
+// the same factors are compared: a random shuffle (the "arbitrary"
+// case), the constructor's natural labeling (in-order for trees), and
+// the Karaganis dilation-3 order.
+func E10LabelingAblation() *Result {
+	res := &Result{ID: "E10", Title: "Ablation: factor labeling (arbitrary vs natural vs dilation-3 vs Hamiltonian)"}
+	t := stats.NewTable("E10: measured rounds by labeling (r=2)",
+		"factor", "N", "labeling", "max label dilation", "rounds", "vs arbitrary")
+	factors := []*graph.Graph{
+		graph.CompleteBinaryTree(3),
+		graph.CompleteBinaryTree(4),
+		graph.Star(8),
+		graph.Caterpillar(4, []int{2, 2, 2, 2}),
+	}
+	for _, g := range factors {
+		variants := labelingVariants(g)
+		var arbitrary int
+		for _, v := range variants {
+			net := product.MustNew(v.g, 2)
+			clk := sortAndClock(v.g, 2, workload.Uniform(net.Nodes(), 91), nil)
+			if v.name == "arbitrary (shuffled)" {
+				arbitrary = clk.Rounds
+			}
+			ratio := float64(clk.Rounds) / float64(arbitrary)
+			t.Add(g.Name(), g.N(), v.name, v.g.MaxLabelDilation(), clk.Rounds, ratio)
+		}
+	}
+	t.Note("smaller dilation bounds the per-sweep routing distance; congestion decides the rest, so natural tree in-order can beat dilation-3")
+	t.Note("the Hamiltonian row appears only for factors that have a Hamiltonian path")
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+type labeledVariant struct {
+	name string
+	g    *graph.Graph
+}
+
+// labelingVariants builds the labelings under comparison; the shuffled
+// variant is deterministic (fixed seed).
+func labelingVariants(g *graph.Graph) []labeledVariant {
+	out := []labeledVariant{}
+	// Arbitrary: a random permutation of labels.
+	rng := rand.New(rand.NewSource(12345))
+	perm := rng.Perm(g.N())
+	shuffled, err := graph.Relabel(g, perm)
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, labeledVariant{"arbitrary (shuffled)", shuffled})
+	out = append(out, labeledVariant{"natural (constructor)", g})
+	out = append(out, labeledVariant{"dilation-3 (Karaganis)", graph.LinearRelabel(g)})
+	if h, ok := graph.HamiltonianRelabel(g); ok && h.HamiltonianLabeled() {
+		out = append(out, labeledVariant{"hamiltonian", h})
+	}
+	return out
+}

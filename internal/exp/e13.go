@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+
+	"productsort/internal/core"
+	"productsort/internal/cost"
+	"productsort/internal/graph"
+	"productsort/internal/mergenet"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// E13ScheduleInvariance examines the mechanism behind the Corollary.
+// The paper proves O(r²N) for every connected factor by emulating a
+// torus algorithm through an embedding. In this implementation the
+// point comes for free, and the experiment demonstrates why: the
+// compare-exchange schedule produced by the algorithm (with the
+// label-based S₂ engines) depends only on the per-dimension radices,
+// never on the factor's edges — factors influence the *cost per phase*
+// (routed exchanges), not the phase list. Replaying the schedule of any
+// same-radix factor on another machine is therefore exactly the direct
+// algorithm, and the emulation overhead the paper bounds by a constant
+// factor of 6 is zero here.
+func E13ScheduleInvariance() *Result {
+	res := &Result{ID: "E13", Title: "Corollary mechanism: the schedule depends on radices only; factors set per-phase cost"}
+
+	// (a) Schedules extracted from same-size factors are identical.
+	t := stats.NewTable("E13a: schedule equality across factor topologies (N=7, r=2)",
+		"factor", "phases", "comparators", "identical to path7 schedule")
+	ref := mergenet.MustExtract(graph.Path(7), 2, nil)
+	for _, g := range []*graph.Graph{graph.Path(7), graph.Cycle(7), graph.CompleteBinaryTree(3), graph.Star(7)} {
+		s := mergenet.MustExtract(g, 2, nil)
+		t.Add(g.Name(), s.Depth(), s.Size(), schedulesEqual(ref, s))
+	}
+	t.Note("identical schedules: the S₂ engines compare label-consecutive symbols, so only the radices matter")
+	res.Tables = append(res.Tables, t)
+
+	// (b) The same schedule replayed on different factors costs
+	// different rounds: the factor's connectivity prices each phase.
+	t2 := stats.NewTable("E13b: one schedule, many factors — replay cost (N=7, r=2, same keys)",
+		"machine factor", "ham", "rounds", "routed phases", "sorted", "paper 18(r-1)^2 N")
+	phases, pathNet, err := mergenet.NodePhases(graph.Path(7), 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	keys := workload.Uniform(pathNet.Nodes(), 127)
+	for _, g := range []*graph.Graph{graph.Path(7), graph.Cycle(7), graph.CompleteBinaryTree(3), graph.Star(7), graph.Complete(7)} {
+		net := product.MustNew(g, 2)
+		m := simnet.MustNew(net, make([]simnet.Key, net.Nodes()))
+		m.LoadSnake(keys)
+		mergenet.ReplayOnMachine(m, phases)
+		clk := m.Clock()
+		t2.Add(g.Name(), g.HamiltonianLabeled(), clk.Rounds, clk.RoutedPhases,
+			m.IsSortedSnake(), cost.CorollaryBound(2, 7))
+	}
+	t2.Note("node ids coincide across same-radix networks, so the node-space schedule replays verbatim; Hamiltonian factors pay 1 round/phase, others pay measured routing")
+	res.Tables = append(res.Tables, t2)
+
+	// (c) Consequence: TorusEmulation (the Corollary's literal device)
+	// coincides with the direct algorithm round-for-round.
+	t3 := stats.NewTable("E13c: torus-emulation vs direct (identical by schedule invariance)",
+		"network", "direct rounds", "emulated rounds", "equal")
+	for _, c := range []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.CompleteBinaryTree(3), 2},
+		{graph.Star(6), 2},
+		{graph.CompleteBinaryTree(3), 3},
+	} {
+		net := product.MustNew(c.g, c.r)
+		ks := workload.Uniform(net.Nodes(), 113)
+
+		mDirect := simnet.MustNew(net, make([]simnet.Key, net.Nodes()))
+		mDirect.LoadSnake(ks)
+		core.New(nil).Sort(mDirect)
+
+		mEmul := simnet.MustNew(net, make([]simnet.Key, net.Nodes()))
+		mEmul.LoadSnake(ks)
+		if _, err := mergenet.TorusEmulation(mEmul, nil); err != nil {
+			panic(err)
+		}
+		if !mDirect.IsSortedSnake() || !mEmul.IsSortedSnake() {
+			panic("exp: E13c sort failed")
+		}
+		d, e := mDirect.Clock().Rounds, mEmul.Clock().Rounds
+		t3.Add(net.Name(), d, e, d == e)
+	}
+	t3.Note(fmt.Sprintf("the paper's emulation pays a slowdown ≤ 6; with a topology-independent S₂ the slowdown is exactly 1 — %s",
+		"the schedule never used the torus wraparound edges to begin with"))
+	res.Tables = append(res.Tables, t3)
+	return res
+}
+
+// schedulesEqual compares two snake-space schedules phase by phase.
+func schedulesEqual(a, b *mergenet.Schedule) bool {
+	if a.Inputs != b.Inputs || len(a.Phases) != len(b.Phases) {
+		return false
+	}
+	for i := range a.Phases {
+		if len(a.Phases[i]) != len(b.Phases[i]) {
+			return false
+		}
+		for j := range a.Phases[i] {
+			if a.Phases[i][j] != b.Phases[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

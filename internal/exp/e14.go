@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"math/rand"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/prouting"
+	"productsort/internal/stats"
+)
+
+// E14PermutationRouting measures the product-network routing substrate
+// (the related-work context of the paper's [4], [12]): the cost of the
+// full-permutation data movements that the multiway-merge algorithm's
+// free Steps 1 and 3 avoid, and that Columnsort-style algorithms
+// hard-wire. Dimension-ordered store-and-forward routing, single-port
+// model — the same time unit as the sorting rounds.
+func E14PermutationRouting() *Result {
+	res := &Result{ID: "E14", Title: "Permutation routing on product networks: the cost of explicit data movement"}
+	t := stats.NewTable("E14: routing rounds by workload (single-port, dimension-ordered)",
+		"network", "nodes", "diameter", "random avg", "random max", "antipodal", "snake reversal", "max queue")
+	cfgs := []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.Path(4), 2},
+		{graph.Path(8), 2},
+		{graph.Path(4), 3},
+		{graph.K2(), 6},
+		{graph.K2(), 8},
+		{graph.Petersen(), 2},
+		{graph.CompleteBinaryTree(3), 2},
+		{graph.Cycle(8), 2},
+	}
+	rng := rand.New(rand.NewSource(131))
+	for _, c := range cfgs {
+		net := product.MustNew(c.g, c.r)
+		router := prouting.New(net)
+		const trials = 8
+		sum, max := 0, 0
+		maxQueue := 0
+		for i := 0; i < trials; i++ {
+			st := router.Route(rng.Perm(net.Nodes()))
+			sum += st.Rounds
+			if st.Rounds > max {
+				max = st.Rounds
+			}
+			if st.MaxQueue > maxQueue {
+				maxQueue = st.MaxQueue
+			}
+		}
+		anti := router.Antipodal()
+		rev := router.SnakeReversal()
+		t.Add(net.Name(), net.Nodes(), net.Diameter(), float64(sum)/trials, max,
+			anti.Rounds, rev.Rounds, maxQueue)
+	}
+	t.Note("the snake reversal column is tiny on even radices (reflected-Gray reversal only complements the top symbol) and grows on trees/odd radices")
+	t.Note("a random permutation costs on the order of the network side — each such movement that Columnsort hard-wires, the multiway merge's Steps 1/3 get for free by reinterpreting storage")
+	res.Tables = append(res.Tables, t)
+
+	// The sorting algorithm vs one permutation: sorting is a few
+	// S2-phases' worth of rounds, an explicit permutation routing a few
+	// diameters' worth — the ratio shows how much of sorting's budget a
+	// single hard-wired permutation would consume.
+	t2 := stats.NewTable("E14b: one random permutation vs one full sort (rounds)",
+		"network", "route rounds", "sort rounds", "route/sort")
+	for _, c := range []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.Path(8), 2}, {graph.K2(), 6}, {graph.Petersen(), 2},
+	} {
+		net := product.MustNew(c.g, c.r)
+		router := prouting.New(net)
+		st := router.Route(rng.Perm(net.Nodes()))
+		clk := sortAndClock(c.g, c.r, randPermKeys(net.Nodes(), rng), nil)
+		t2.Add(net.Name(), st.Rounds, clk.Rounds, float64(st.Rounds)/float64(clk.Rounds))
+	}
+	res.Tables = append(res.Tables, t2)
+	return res
+}
+
+func randPermKeys(n int, rng *rand.Rand) []int64 {
+	keys := make([]int64, n)
+	for i, p := range rng.Perm(n) {
+		keys[i] = int64(p)
+	}
+	return keys
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"productsort/internal/core"
+	"productsort/internal/graph"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// E2DirtyArea measures the dirty window left after Step 3 of the merge
+// (Lemma 1 bounds it by N²). Random 0-1 inputs are driven through the
+// full precondition pipeline, the top-level clean is skipped, and the
+// window of unsorted keys in the global snake order is measured.
+func E2DirtyArea() *Result {
+	res := &Result{ID: "E2", Title: "Lemma 1: dirty area after Step 3 never exceeds N²"}
+	t := stats.NewTable("E2: measured dirty windows (random and balanced 0-1 inputs)",
+		"factor", "N", "r", "trials", "max window", "bound N²", "within bound")
+	type cfg struct {
+		g *graph.Graph
+		r int
+	}
+	cfgs := []cfg{
+		{graph.Path(2), 3}, {graph.Path(2), 4}, {graph.Path(2), 5},
+		{graph.Path(3), 3}, {graph.Path(3), 4},
+		{graph.Path(4), 3}, {graph.Path(5), 3}, {graph.Path(6), 3}, {graph.Path(8), 3},
+		{graph.Cycle(4), 3}, {graph.Petersen(), 3},
+	}
+	const trials = 60
+	for _, c := range cfgs {
+		n := c.g.N()
+		nodes := 1
+		for i := 0; i < c.r; i++ {
+			nodes *= n
+		}
+		maxWindow := 0
+		for i, seed := range seedsFor(trials) {
+			var keys []int64
+			if i%2 == 0 {
+				keys = workload.ZeroOne(nodes, seed)
+			} else {
+				keys = workload.ZeroOneBalanced(nodes, seed)
+			}
+			m := machineFor(c.g, c.r, keys)
+			s := core.New(nil)
+			prepareSlabs(s, m, c.r)
+			s.MergeSkipTopClean(m, c.r)
+			if w := core.DirtyWindow(m.SnakeKeys()); w > maxWindow {
+				maxWindow = w
+			}
+		}
+		bound := n * n
+		t.Add(c.g.Name(), n, c.r, trials, maxWindow, bound, maxWindow <= bound)
+	}
+	t.Note("window = distance from first 1 to last 0 (+1) in the global snake order")
+	res.Tables = append(res.Tables, t)
+
+	fig := stats.NewFigure("E2: worst observed dirty window vs N (r=3, path factor)", "N", "window")
+	meas := fig.AddSeries("max window")
+	bound := fig.AddSeries("N² bound")
+	for _, n := range []int{2, 3, 4, 5, 6, 8} {
+		g := graph.Path(n)
+		nodes := n * n * n
+		maxWindow := 0
+		for _, seed := range seedsFor(40) {
+			keys := workload.ZeroOneBalanced(nodes, seed)
+			m := machineFor(g, 3, keys)
+			s := core.New(nil)
+			prepareSlabs(s, m, 3)
+			s.MergeSkipTopClean(m, 3)
+			if w := core.DirtyWindow(m.SnakeKeys()); w > maxWindow {
+				maxWindow = w
+			}
+		}
+		meas.Point(fmt.Sprint(n), float64(maxWindow))
+		bound.Point(fmt.Sprint(n), float64(n*n))
+	}
+	res.Figures = append(res.Figures, fig)
+	return res
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"productsort/internal/core"
+	"productsort/internal/cost"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/sort2d"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// E3Theorem1 verifies Lemma 3 and Theorem 1 exactly: the sort performs
+// (r-1)² S_2 invocations and (r-1)(r-2) transposition sweeps, and on
+// Hamiltonian-labeled factors its round count equals
+// (r-1)²·S₂rounds + (r-1)(r-2)·1.
+func E3Theorem1() *Result {
+	res := &Result{ID: "E3", Title: "Lemma 3 + Theorem 1: measured phases and rounds vs closed forms"}
+
+	t := stats.NewTable("E3a: full sort, phase counts vs Theorem 1",
+		"network", "N", "r", "S2 phases", "(r-1)^2", "sweeps", "(r-1)(r-2)", "exact match")
+	type cfg struct {
+		g *graph.Graph
+		r int
+	}
+	cfgs := []cfg{
+		{graph.Path(3), 2}, {graph.Path(3), 3}, {graph.Path(3), 4},
+		{graph.Path(4), 3}, {graph.Path(5), 3},
+		{graph.Cycle(4), 3}, {graph.Cycle(5), 2},
+		{graph.K2(), 3}, {graph.K2(), 5}, {graph.K2(), 7},
+		{graph.Petersen(), 2},
+		{graph.DeBruijn(2, 3), 2},
+		{graph.CompleteBinaryTree(3), 2}, {graph.CompleteBinaryTree(3), 3},
+	}
+	for _, c := range cfgs {
+		net := product.MustNew(c.g, c.r)
+		clk := sortAndClock(c.g, c.r, workload.Uniform(net.Nodes(), 31), nil)
+		wantS2 := core.PredictedS2Phases(c.r)
+		wantSw := core.PredictedSweeps(c.r)
+		t.Add(net.Name(), c.g.N(), c.r, clk.S2Phases, wantS2, clk.SweepPhases, wantSw,
+			clk.S2Phases == wantS2 && clk.SweepPhases == wantSw)
+	}
+	res.Tables = append(res.Tables, t)
+
+	t2 := stats.NewTable("E3b: full sort, rounds vs (r-1)^2*S2 + (r-1)(r-2)*R (Hamiltonian factors, R=1)",
+		"network", "engine", "S2(N) rounds", "measured rounds", "Theorem 1 rounds", "exact match")
+	type cfg2 struct {
+		g      *graph.Graph
+		r      int
+		engine sort2d.Engine
+	}
+	cfgs2 := []cfg2{
+		{graph.Path(3), 3, sort2d.Shearsort{}},
+		{graph.Path(4), 3, sort2d.Shearsort{}},
+		{graph.Path(3), 4, sort2d.Shearsort{}},
+		{graph.Path(5), 3, sort2d.SnakeOET{}},
+		{graph.Cycle(4), 3, sort2d.Shearsort{}},
+		{graph.K2(), 4, sort2d.Opt4{}},
+		{graph.K2(), 6, sort2d.Opt4{}},
+		{graph.Petersen(), 2, sort2d.Shearsort{}},
+	}
+	for _, c := range cfgs2 {
+		net := product.MustNew(c.g, c.r)
+		clk := sortAndClock(c.g, c.r, workload.Permutation(net.Nodes(), 17), c.engine)
+		s2 := c.engine.Rounds(c.g.N())
+		want := cost.SortTime(c.r, s2, 1)
+		t2.Add(net.Name(), c.engine.Name(), s2, clk.Rounds, want, clk.Rounds == want)
+	}
+	res.Tables = append(res.Tables, t2)
+
+	t3 := stats.NewTable("E3c: single merge along dimension k, cost vs Lemma 3 M_k = 2(k-2)(S2+R)+S2",
+		"network", "k", "S2 phases", "2(k-2)+1", "sweeps", "2(k-2)", "rounds", "M_k (R=1)", "exact match")
+	for _, k := range []int{2, 3, 4} {
+		g := graph.Path(3)
+		net := product.MustNew(g, k)
+		m := simnet.MustNew(net, make([]simnet.Key, net.Nodes()))
+		m.LoadSnake(workload.Uniform(net.Nodes(), 23))
+		s := core.New(sort2d.Shearsort{})
+		prepareSlabs(s, m, k)
+		// prepareSlabs only sorts {1,2} blocks and merges below k; for
+		// k==2 the precondition is trivial, but we must not count the
+		// setup phases.
+		m.ResetClock()
+		s.Merge(m, k)
+		clk := m.Clock()
+		s2 := (sort2d.Shearsort{}).Rounds(3)
+		wantRounds := cost.MergeTime(k, s2, 1)
+		t3.Add(net.Name(), k, clk.S2Phases, core.PredictedMergeS2Phases(k),
+			clk.SweepPhases, core.PredictedMergeSweeps(k), clk.Rounds, wantRounds,
+			clk.S2Phases == core.PredictedMergeS2Phases(k) &&
+				clk.SweepPhases == core.PredictedMergeSweeps(k) &&
+				clk.Rounds == wantRounds)
+	}
+	res.Tables = append(res.Tables, t3)
+	return res
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"productsort/internal/baseline"
+	"productsort/internal/core"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// E8VsColumnsort compares the multiway-merge sort against the multiway
+// algorithms discussed in Section 1: Leighton's Columnsort and the
+// Batcher comparator networks. Work is compared in comparator operations
+// and parallel depth on the same key sets.
+func E8VsColumnsort() *Result {
+	res := &Result{ID: "E8", Title: "Multiway-merge vs Columnsort, odd-even merge, bitonic, odd-even transposition"}
+	t := stats.NewTable("E8: work and depth on n keys",
+		"n", "algorithm", "comparators", "parallel depth/rounds", "notes")
+
+	for _, n := range []int{64, 256, 1024} {
+		keys := workload.Uniform(n, int64(n))
+		want := sortedCopy(keys)
+
+		// Multiway-merge on the hypercube (n = 2^r).
+		r := 0
+		for 1<<r < n {
+			r++
+		}
+		g := graph.K2()
+		net := product.MustNew(g, r)
+		m := simnet.MustNew(net, make([]simnet.Key, n))
+		m.LoadSnake(keys)
+		clk := sortAndClockOn(m)
+		t.Add(n, "multiway-merge (hypercube)", clk.CompareOps, clk.Rounds,
+			fmt.Sprintf("S2 phases=%d sweeps=%d", clk.S2Phases, clk.SweepPhases))
+
+		// Multiway-merge on a cube-ish grid when n = s³.
+		if s := cubeRoot(n); s > 1 {
+			gg := graph.Path(s)
+			gnet := product.MustNew(gg, 3)
+			gm := simnet.MustNew(gnet, make([]simnet.Key, n))
+			gm.LoadSnake(keys)
+			gclk := sortAndClockOn(gm)
+			t.Add(n, fmt.Sprintf("multiway-merge (grid %d^3)", s), gclk.CompareOps, gclk.Rounds, "")
+		}
+
+		// Batcher bitonic on the hypercube machine.
+		mb := simnet.MustNew(net, keys)
+		baseline.BitonicOnHypercube(mb)
+		bclk := mb.Clock()
+		t.Add(n, "batcher bitonic (hypercube)", bclk.CompareOps, bclk.Rounds, "")
+
+		// Naive generic baseline on the same machine: odd-even
+		// transposition along the global snake.
+		ms := simnet.MustNew(net, make([]simnet.Key, n))
+		ms.LoadSnake(keys)
+		baseline.SnakeOETOnMachine(ms)
+		if !ms.IsSortedSnake() {
+			panic("exp: snake OET baseline failed")
+		}
+		sclk := ms.Clock()
+		t.Add(n, "snake odd-even transposition (hypercube)", sclk.CompareOps, sclk.Rounds, "naive generic machine baseline")
+
+		// Comparator networks applied to the raw sequence.
+		oem := baseline.OddEvenMergeNetwork(n)
+		check := append([]simnet.Key(nil), keys...)
+		oem.Apply(check)
+		assertEqual(check, want, "odd-even merge network")
+		t.Add(n, "odd-even merge network", oem.Size(), oem.Depth(), "")
+
+		bit := baseline.BitonicNetwork(n)
+		check = append([]simnet.Key(nil), keys...)
+		bit.Apply(check)
+		assertEqual(check, want, "bitonic network")
+		t.Add(n, "bitonic network", bit.Size(), bit.Depth(), "")
+
+		oet := baseline.OddEvenTranspositionNetwork(n)
+		check = append([]simnet.Key(nil), keys...)
+		oet.Apply(check)
+		assertEqual(check, want, "odd-even transposition")
+		t.Add(n, "odd-even transposition", oet.Size(), oet.Depth(), "linear-array algorithm")
+
+		// Columnsort.
+		if rr, ss, err := baseline.ColumnsortShape(n); err == nil {
+			check = append([]simnet.Key(nil), keys...)
+			st, err := baseline.Columnsort(check, rr, ss)
+			if err != nil {
+				panic(err)
+			}
+			assertEqual(check, want, "columnsort")
+			t.Add(n, fmt.Sprintf("columnsort (%dx%d)", rr, ss), st.Comparators, st.Depth,
+				fmt.Sprintf("%d column-sort passes + %d permutations", st.ColumnSorts, st.PermutationSteps))
+		}
+	}
+	t.Note("multiway-merge and bitonic rows are measured on the simulated machine (depth = communication rounds); network rows are comparator statistics")
+	t.Note("columnsort's column sorts use odd-even merge networks of r rows; its permutations are routing, not comparison")
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+// sortAndClockOn sorts an already-loaded machine and returns its clock.
+func sortAndClockOn(m *simnet.Machine) simnet.Clock {
+	alg := core.New(nil)
+	alg.Sort(m)
+	if !m.IsSortedSnake() {
+		panic("exp: machine sort failed")
+	}
+	return m.Clock()
+}
+
+func cubeRoot(n int) int {
+	for s := 2; s*s*s <= n; s++ {
+		if s*s*s == n {
+			return s
+		}
+	}
+	return 0
+}
+
+func assertEqual(got, want []simnet.Key, what string) {
+	if len(got) != len(want) {
+		panic("exp: length mismatch in " + what)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic("exp: " + what + " produced wrong output")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("e3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("e99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestE1PaperExample(t *testing.T) {
+	r := E1PaperExample()
+	out := render(r)
+	if !strings.Contains(out, "matches fully sorted sequence  true") &&
+		!strings.Contains(out, "true") {
+		t.Errorf("E1 did not confirm sortedness:\n%s", out)
+	}
+	// The paper's final sequence starts 0 0 0 1 1 1 1 2 3 4 ...
+	if !strings.Contains(out, "0 0 0 1 1 1 1 2 3 4") {
+		t.Errorf("E1 final sequence missing paper prefix:\n%s", out)
+	}
+}
+
+func TestE2AllWithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E2DirtyArea()
+	out := render(r)
+	if strings.Contains(out, "false") {
+		t.Errorf("E2 found a dirty window beyond N²:\n%s", out)
+	}
+}
+
+func TestE3ExactMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E3Theorem1()
+	out := render(r)
+	if strings.Contains(out, "false") {
+		t.Errorf("E3 found a mismatch with Theorem 1 / Lemma 3:\n%s", out)
+	}
+}
+
+func TestE4WithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E4UniversalBound()
+	out := render(r)
+	// The "within" cell (9th column of E4's first table) must be true
+	// in every row; the "ham" column may legitimately be false.
+	inFirstTable := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "E4:") {
+			inFirstTable = true
+			continue
+		}
+		if strings.HasPrefix(line, "E4b") {
+			inFirstTable = false
+		}
+		if !inFirstTable {
+			continue
+		}
+		cells := splitColumns(line)
+		if len(cells) == 11 && cells[0] != "network" && cells[8] != "true" {
+			t.Errorf("E4 row not within Theorem-1 bound: %s", line)
+		}
+	}
+}
+
+// splitColumns splits an aligned table row on runs of 2+ spaces.
+func splitColumns(line string) []string {
+	var cells []string
+	for _, part := range strings.Split(line, "  ") {
+		if p := strings.TrimSpace(part); p != "" {
+			cells = append(cells, p)
+		}
+	}
+	return cells
+}
+
+func TestE5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E5GridMCTScaling()
+	out := render(r)
+	for _, want := range []string{"path16^3", "cbt4^2", "rounds/N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5 missing %q", want)
+		}
+	}
+}
+
+func TestE6RatioModest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E6HypercubeVsBatcher()
+	out := render(r)
+	if !strings.Contains(out, "batcher") {
+		t.Errorf("E6 missing baseline:\n%s", out)
+	}
+}
+
+func TestE7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E7PetersenDeBruijn()
+	out := render(r)
+	for _, want := range []string{"petersen", "debruijn", "log2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E8VsColumnsort()
+	out := render(r)
+	for _, want := range []string{"multiway-merge (hypercube)", "columnsort", "bitonic network"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E8 missing %q", want)
+		}
+	}
+}
+
+func TestE9RoundsConstant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E9BlockScaling()
+	out := render(r)
+	if strings.Contains(out, "false") {
+		t.Errorf("E9 found an unsorted blocked run:\n%s", out)
+	}
+	if !strings.Contains(out, "64") {
+		t.Error("E9 missing the large block size")
+	}
+}
+
+func TestE10Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E10LabelingAblation()
+	out := render(r)
+	for _, want := range []string{"arbitrary (shuffled)", "dilation-3 (Karaganis)", "natural (constructor)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E10 missing %q", want)
+		}
+	}
+}
+
+func TestE11Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E11Obliviousness()
+	out := render(r)
+	for _, want := range []string{"identical", "batcher odd-even merge", "snake-oet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E11 missing %q", want)
+		}
+	}
+}
+
+func TestE12Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E12Heterogeneous()
+	out := render(r)
+	if strings.Contains(out, "false") {
+		t.Errorf("E12 found a mismatch:\n%s", out)
+	}
+	for _, want := range []string{"path4*path8", "petersen", "Wx4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E12 missing %q", want)
+		}
+	}
+}
+
+func TestE13Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E13ScheduleInvariance()
+	out := render(r)
+	// Every "identical"/"equal" cell must be true; the "ham" column of
+	// E13b may legitimately read false, so check only trailing cells.
+	for _, line := range strings.Split(out, "\n") {
+		cells := splitColumns(line)
+		if len(cells) == 4 && cells[0] != "factor" && cells[0] != "network" &&
+			(cells[3] == "false") {
+			t.Errorf("E13 row not equal: %s", line)
+		}
+	}
+	for _, want := range []string{"identical to path7 schedule", "cbt3", "K7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 missing %q", want)
+		}
+	}
+}
+
+func TestE14Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E14PermutationRouting()
+	out := render(r)
+	for _, want := range []string{"antipodal", "snake reversal", "route/sort"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E14 missing %q", want)
+		}
+	}
+}
+
+func TestE15Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := E15EngineAgreement()
+	out := render(r)
+	// Every "keys agree" cell (7th column) must be true.
+	for _, line := range strings.Split(out, "\n") {
+		cells := splitColumns(line)
+		if len(cells) == 7 && cells[0] != "network" && cells[6] == "false" {
+			t.Errorf("E15 row disagrees: %s", line)
+		}
+	}
+	if !strings.Contains(out, "SPMD sync rounds") {
+		t.Error("E15 missing column")
+	}
+}
+
+func render(r *Result) string {
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}
+
+func TestWriteCSVs(t *testing.T) {
+	r := E1PaperExample()
+	dir := t.TempDir()
+	names, err := r.WriteCSVs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no CSVs written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "stage,") {
+		t.Errorf("csv content: %.60s", data)
+	}
+}

@@ -1,0 +1,176 @@
+package graph
+
+import "fmt"
+
+// Path returns the n-node linear array 0–1–…–(n-1). Grids are products
+// of paths.
+func Path(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustNew(fmt.Sprintf("path%d", n), n, edges)
+}
+
+// Cycle returns the n-node ring (n ≥ 3). Tori are products of cycles.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs at least 3 nodes")
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	edges = append(edges, [2]int{0, n - 1})
+	return MustNew(fmt.Sprintf("cycle%d", n), n, edges)
+}
+
+// K2 returns the two-node complete graph; its r-dimensional product is
+// the hypercube.
+func K2() *Graph { return MustNew("K2", 2, [][2]int{{0, 1}}) }
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return MustNew(fmt.Sprintf("K%d", n), n, edges)
+}
+
+// Star returns the n-node star: node 0 is the hub. Non-Hamiltonian for
+// n ≥ 4, so it exercises the routing fallback.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: star needs at least 2 nodes")
+	}
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustNew(fmt.Sprintf("star%d", n), n, edges)
+}
+
+// CompleteBinaryTree returns the complete binary tree with the given
+// number of levels (levels ≥ 1, so 2^levels − 1 nodes). Mesh-connected
+// trees (MCT) are products of these. The tree is labeled in in-order so
+// that labels still reflect the left-to-right sorted order of the leaves
+// and internal nodes; the graph is not Hamiltonian for levels ≥ 3 and the
+// sorting algorithm uses routed compare-exchange on it.
+func CompleteBinaryTree(levels int) *Graph {
+	if levels < 1 {
+		panic("graph: tree needs at least one level")
+	}
+	n := (1 << levels) - 1
+	// Build with heap indices 1..n, then relabel heap index -> in-order.
+	inorder := make([]int, 0, n)
+	var walk func(h int)
+	walk = func(h int) {
+		if h > n {
+			return
+		}
+		walk(2 * h)
+		inorder = append(inorder, h-1) // zero-based heap id
+		walk(2*h + 1)
+	}
+	walk(1)
+	pos := make([]int, n) // heap id -> in-order label
+	for label, heapID := range inorder {
+		pos[heapID] = label
+	}
+	var edges [][2]int
+	for h := 2; h <= n; h++ {
+		edges = append(edges, [2]int{pos[h-1], pos[h/2-1]})
+	}
+	return MustNew(fmt.Sprintf("cbt%d", levels), n, edges)
+}
+
+// Petersen returns the 10-node Petersen graph (outer 5-cycle, inner
+// pentagram, five spokes), relabeled along one of its Hamiltonian paths
+// so label-consecutive nodes are adjacent. Products of Petersen graphs
+// are the "Petersen cubes" of Section 5.4.
+func Petersen() *Graph {
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % 5})     // outer cycle
+		edges = append(edges, [2]int{i + 5, (i+2)%5 + 5}) // inner pentagram
+		edges = append(edges, [2]int{i, i + 5})           // spokes
+	}
+	g := MustNew("petersen", 10, edges)
+	g, ok := HamiltonianRelabel(g)
+	if !ok {
+		panic("graph: Petersen graph must have a Hamiltonian path")
+	}
+	return g
+}
+
+// DeBruijn returns the undirected base-b, dimension-d de Bruijn graph:
+// nodes are the b^d base-b strings, and x is adjacent to every left or
+// right shift of x (self-loops dropped, parallel edges merged). The
+// result is relabeled along a Hamiltonian path when one exists.
+func DeBruijn(b, d int) *Graph {
+	if b < 2 || d < 1 {
+		panic("graph: de Bruijn needs base ≥ 2 and dimension ≥ 1")
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= b
+	}
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !seen[[2]int{u, v}] {
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	for x := 0; x < n; x++ {
+		for a := 0; a < b; a++ {
+			add(x, (x*b+a)%n) // left shift, append symbol a
+		}
+	}
+	g := MustNew(fmt.Sprintf("debruijn%d_%d", b, d), n, edges)
+	g, _ = HamiltonianRelabel(g)
+	return g
+}
+
+// ShuffleExchange returns the undirected dimension-d shuffle-exchange
+// graph on 2^d nodes: exchange edges flip the lowest bit, shuffle edges
+// rotate the bit string left (self-loops dropped). Relabeled along a
+// Hamiltonian path when one exists.
+func ShuffleExchange(d int) *Graph {
+	if d < 1 {
+		panic("graph: shuffle-exchange needs dimension ≥ 1")
+	}
+	n := 1 << d
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !seen[[2]int{u, v}] {
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	for x := 0; x < n; x++ {
+		add(x, x^1) // exchange
+		rot := ((x << 1) | (x >> (d - 1))) & (n - 1)
+		add(x, rot) // shuffle
+	}
+	g := MustNew(fmt.Sprintf("shuffleexchange%d", d), n, edges)
+	g, _ = HamiltonianRelabel(g)
+	return g
+}

@@ -1,0 +1,194 @@
+package graph
+
+import "fmt"
+
+// Additional factor families. The generalized sorting algorithm runs on
+// the product of any connected graph; these widen the test surface and
+// give users ready-made factors beyond the paper's running examples.
+
+// Circulant returns the circulant graph C_n(offsets): node i is adjacent
+// to i±d (mod n) for every d in offsets. With offset 1 it degenerates to
+// a cycle; offsets {1, k} give dense ring-like factors.
+func Circulant(n int, offsets ...int) *Graph {
+	if n < 3 {
+		panic("graph: circulant needs at least 3 nodes")
+	}
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	for _, d := range offsets {
+		if d <= 0 || d >= n {
+			panic(fmt.Sprintf("graph: circulant offset %d out of range (0,%d)", d, n))
+		}
+		for i := 0; i < n; i++ {
+			a, b := i, (i+d)%n
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if !seen[[2]int{a, b}] {
+				seen[[2]int{a, b}] = true
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+	}
+	return MustNew(fmt.Sprintf("circulant%d", n), n, edges)
+}
+
+// Wheel returns the wheel W_n: an (n-1)-cycle plus a hub adjacent to
+// every rim node (n ≥ 4). Relabeled along a Hamiltonian path.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("graph: wheel needs at least 4 nodes")
+	}
+	rim := n - 1
+	var edges [][2]int
+	for i := 1; i <= rim; i++ {
+		edges = append(edges, [2]int{0, i}) // spokes from hub 0
+		next := i%rim + 1
+		edges = append(edges, [2]int{i, next})
+	}
+	g := MustNew(fmt.Sprintf("wheel%d", n), n, edges)
+	g, ok := HamiltonianRelabel(g)
+	if !ok {
+		panic("graph: wheel graphs are Hamiltonian")
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine of the given length
+// with legs[i] leaves hanging off spine node i. Caterpillars are the
+// trees whose square is Hamiltonian, a natural middle ground between
+// paths and complete binary trees.
+func Caterpillar(spine int, legs []int) *Graph {
+	if spine < 1 {
+		panic("graph: caterpillar needs a spine")
+	}
+	if len(legs) != spine {
+		panic("graph: need one leg count per spine node")
+	}
+	n := spine
+	for _, l := range legs {
+		if l < 0 {
+			panic("graph: negative leg count")
+		}
+		n += l
+	}
+	var edges [][2]int
+	for i := 0; i+1 < spine; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	next := spine
+	for i, l := range legs {
+		for k := 0; k < l; k++ {
+			edges = append(edges, [2]int{i, next})
+			next++
+		}
+	}
+	g := MustNew(fmt.Sprintf("caterpillar%d", n), n, edges)
+	// A caterpillar may or may not have a Hamiltonian path; relabel
+	// along one when it exists, else along the dilation-3 linear order.
+	if rg, ok := HamiltonianRelabel(g); ok {
+		return rg
+	}
+	return LinearRelabel(g)
+}
+
+// HypercubeGraph returns the d-dimensional hypercube as a factor graph
+// (2^d nodes, differ-in-one-bit adjacency), labeled along the binary
+// reflected Gray code so labels trace a Hamiltonian path. Products of
+// hypercubes are hypercubes again; this factor mainly exercises
+// labeling machinery and gives a dense Hamiltonian factor.
+func HypercubeGraph(d int) *Graph {
+	if d < 1 {
+		panic("graph: hypercube needs dimension ≥ 1")
+	}
+	n := 1 << d
+	var edges [][2]int
+	for x := 0; x < n; x++ {
+		for b := 0; b < d; b++ {
+			y := x ^ (1 << b)
+			if x < y {
+				edges = append(edges, [2]int{x, y})
+			}
+		}
+	}
+	g := MustNew(fmt.Sprintf("Q%d", d), n, edges)
+	// Gray-code relabeling: node i of the result is gray(i).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i ^ (i >> 1)
+	}
+	rg, err := Relabel(g, perm)
+	if err != nil {
+		panic(err)
+	}
+	return rg
+}
+
+// Kautz returns the undirected base-b, dimension-d Kautz graph: nodes
+// are strings of d+1 symbols over an alphabet of b+1 symbols with no
+// two consecutive symbols equal; x is adjacent to its shifts. Kautz
+// graphs are de Bruijn relatives with (b+1)·b^d nodes and better
+// degree/diameter trade-offs.
+func Kautz(b, d int) *Graph {
+	if b < 2 || d < 1 {
+		panic("graph: Kautz needs base ≥ 2 and dimension ≥ 1")
+	}
+	// Enumerate valid strings.
+	var nodes [][]int
+	var build func(prefix []int)
+	build = func(prefix []int) {
+		if len(prefix) == d+1 {
+			nodes = append(nodes, append([]int(nil), prefix...))
+			return
+		}
+		for s := 0; s <= b; s++ {
+			if len(prefix) > 0 && prefix[len(prefix)-1] == s {
+				continue
+			}
+			build(append(prefix, s))
+		}
+	}
+	build(nil)
+	index := make(map[string]int, len(nodes))
+	keyOf := func(s []int) string {
+		out := make([]byte, len(s))
+		for i, x := range s {
+			out[i] = byte('a' + x)
+		}
+		return string(out)
+	}
+	for i, s := range nodes {
+		index[keyOf(s)] = i
+	}
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	for i, s := range nodes {
+		// Left shift: drop first symbol, append any valid symbol.
+		for a := 0; a <= b; a++ {
+			if a == s[len(s)-1] {
+				continue
+			}
+			shifted := append(append([]int(nil), s[1:]...), a)
+			j := index[keyOf(shifted)]
+			if i == j {
+				continue
+			}
+			x, y := i, j
+			if x > y {
+				x, y = y, x
+			}
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				edges = append(edges, [2]int{x, y})
+			}
+		}
+	}
+	g := MustNew(fmt.Sprintf("kautz%d_%d", b, d), len(nodes), edges)
+	if rg, ok := HamiltonianRelabel(g); ok {
+		return rg
+	}
+	return LinearRelabel(g)
+}

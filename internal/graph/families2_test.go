@@ -1,0 +1,158 @@
+package graph
+
+import "testing"
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(8, 1, 3)
+	if g.N() != 8 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if !g.HamiltonianLabeled() {
+		t.Error("circulant with offset 1 should be Hamiltonian-labeled")
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d)=%d want 4", v, g.Degree(v))
+		}
+	}
+	// Offset 1 only degenerates to a cycle.
+	c := Circulant(6, 1)
+	if len(c.Edges()) != 6 {
+		t.Errorf("C_6(1) edges=%d want 6", len(c.Edges()))
+	}
+	// n even with half-offset edges deduplicated: C_8(1,4) has 8+4 edges.
+	h := Circulant(8, 1, 4)
+	if len(h.Edges()) != 12 {
+		t.Errorf("C_8(1,4) edges=%d want 12", len(h.Edges()))
+	}
+}
+
+func TestCirculantDisconnectedPanics(t *testing.T) {
+	// C_6(3) alone is a perfect matching: the constructor must reject it.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("disconnected circulant accepted")
+		}
+	}()
+	Circulant(6, 3)
+}
+
+func TestCirculantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Circulant(5, 0)
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(7)
+	if g.N() != 7 || len(g.Edges()) != 12 {
+		t.Fatalf("wheel7: N=%d edges=%d", g.N(), len(g.Edges()))
+	}
+	if !g.HamiltonianLabeled() {
+		t.Error("wheel should be relabeled along a Hamiltonian path")
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("wheel diameter=%d want 2", g.Diameter())
+	}
+	// Exactly one node of degree n-1 (the hub).
+	hubs := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 6 {
+			hubs++
+		}
+	}
+	if hubs != 1 {
+		t.Errorf("%d hubs", hubs)
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, []int{2, 0, 1, 2})
+	if g.N() != 9 {
+		t.Fatalf("N=%d want 9", g.N())
+	}
+	if len(g.Edges()) != 8 {
+		t.Fatalf("edges=%d want 8 (tree)", len(g.Edges()))
+	}
+	// Caterpillars embed a linear array with dilation ≤ 3 at worst; the
+	// constructor guarantees labels obey that.
+	if d := g.MaxLabelDilation(); d > 3 {
+		t.Errorf("caterpillar label dilation %d > 3", d)
+	}
+	// A bare spine is a path.
+	p := Caterpillar(5, []int{0, 0, 0, 0, 0})
+	if !p.HamiltonianLabeled() {
+		t.Error("bare spine should be Hamiltonian-labeled")
+	}
+}
+
+func TestCaterpillarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Caterpillar(2, []int{1})
+}
+
+func TestHypercubeGraph(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		g := HypercubeGraph(d)
+		if g.N() != 1<<d {
+			t.Fatalf("Q%d: N=%d", d, g.N())
+		}
+		if !g.HamiltonianLabeled() {
+			t.Errorf("Q%d: Gray-code labels should trace a Hamiltonian path", d)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("Q%d: degree(%d)=%d", d, v, g.Degree(v))
+			}
+		}
+		if g.Diameter() != d {
+			t.Errorf("Q%d: diameter=%d", d, g.Diameter())
+		}
+	}
+}
+
+func TestKautz(t *testing.T) {
+	g := Kautz(2, 1)
+	// K(2,1): (b+1)·b^d = 3·2 = 6 nodes; it is the complete bipartite-ish
+	// triangle-pair graph K_{3,3} minus... just check size, degree ≤ 2b,
+	// connectivity and labeling quality.
+	if g.N() != 6 {
+		t.Fatalf("K(2,1): N=%d want 6", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("K(2,1) disconnected")
+	}
+	if d := g.MaxLabelDilation(); d > 3 {
+		t.Errorf("K(2,1) label dilation %d > 3", d)
+	}
+	g2 := Kautz(2, 2)
+	if g2.N() != 12 {
+		t.Fatalf("K(2,2): N=%d want 12", g2.N())
+	}
+	if !g2.IsConnected() {
+		t.Fatal("K(2,2) disconnected")
+	}
+	if g2.MaxDegree() > 4 {
+		t.Errorf("K(2,2) max degree %d want ≤ 2b=4", g2.MaxDegree())
+	}
+}
+
+func TestNewFamiliesSortable(t *testing.T) {
+	// Smoke: products of every new family support snake adjacency
+	// machinery (exercised deeper in the core tests).
+	for _, g := range []*Graph{Circulant(8, 1, 3), Wheel(6), Caterpillar(3, []int{1, 1, 1}), HypercubeGraph(3), Kautz(2, 2)} {
+		if !g.IsConnected() {
+			t.Errorf("%s disconnected", g.Name())
+		}
+		if g.MaxLabelDilation() > 3 {
+			t.Errorf("%s label dilation %d", g.Name(), g.MaxLabelDilation())
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 0, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{0, 1}, {1, 0}, {1, 2}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := New("bad", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := New("ok", 1, nil); err != nil {
+		t.Errorf("single node rejected: %v", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if !g.HamiltonianLabeled() {
+		t.Error("path not Hamiltonian-labeled")
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter=%d want 4", g.Diameter())
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("max degree=%d want 2", g.MaxDegree())
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected chord")
+	}
+	if len(g.Edges()) != 4 {
+		t.Errorf("edges=%d want 4", len(g.Edges()))
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if !g.HamiltonianLabeled() {
+		t.Error("cycle not Hamiltonian-labeled")
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("diameter=%d want 3", g.Diameter())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d)=%d want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 5) {
+		t.Error("wrap-around edge missing")
+	}
+}
+
+func TestK2AndComplete(t *testing.T) {
+	if g := K2(); !g.HamiltonianLabeled() || g.N() != 2 {
+		t.Error("K2 malformed")
+	}
+	g := Complete(5)
+	if g.Diameter() != 1 {
+		t.Errorf("K5 diameter=%d", g.Diameter())
+	}
+	if len(g.Edges()) != 10 {
+		t.Errorf("K5 edges=%d want 10", len(g.Edges()))
+	}
+	if !g.HamiltonianLabeled() {
+		t.Error("K5 should be Hamiltonian-labeled")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.HamiltonianLabeled() {
+		t.Error("star6 cannot be Hamiltonian-labeled")
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("hub degree=%d", g.Degree(0))
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter=%d want 2", g.Diameter())
+	}
+	if d := g.MaxLabelDilation(); d != 2 {
+		t.Errorf("label dilation=%d want 2", d)
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	for levels := 1; levels <= 4; levels++ {
+		g := CompleteBinaryTree(levels)
+		wantN := (1 << levels) - 1
+		if g.N() != wantN {
+			t.Fatalf("levels=%d: N=%d want %d", levels, g.N(), wantN)
+		}
+		if len(g.Edges()) != wantN-1 {
+			t.Fatalf("levels=%d: edges=%d want %d (tree)", levels, len(g.Edges()), wantN-1)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("levels=%d: disconnected", levels)
+		}
+	}
+	// 7-node complete binary tree has no Hamiltonian path.
+	g := CompleteBinaryTree(3)
+	if g.HamiltonianLabeled() {
+		t.Error("cbt3 claims Hamiltonian labeling")
+	}
+	if p := g.FindHamiltonianPath(); p != nil {
+		t.Errorf("cbt3 should have no Hamiltonian path, got %v", p)
+	}
+	// In-order labeling keeps label dilation small (≤ 2·levels but tiny here).
+	if d := g.MaxLabelDilation(); d > 4 {
+		t.Errorf("cbt3 label dilation=%d unexpectedly large", d)
+	}
+	// 3-node "tree" is a path and should be Hamiltonian-labeled.
+	if g := CompleteBinaryTree(2); !g.HamiltonianLabeled() {
+		t.Error("cbt2 (3-node path) should be Hamiltonian-labeled")
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if len(g.Edges()) != 15 {
+		t.Fatalf("edges=%d want 15", len(g.Edges()))
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree(%d)=%d want 3 (Petersen is cubic)", v, g.Degree(v))
+		}
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter=%d want 2", g.Diameter())
+	}
+	if !g.HamiltonianLabeled() {
+		t.Error("Petersen constructor should relabel along a Hamiltonian path")
+	}
+	// Petersen has girth 5: no triangles, no 4-cycles. Spot-check triangles.
+	for _, e := range g.Edges() {
+		for _, w := range g.Neighbors(e[0]) {
+			if w != e[1] && g.HasEdge(w, e[1]) {
+				t.Fatalf("triangle %d-%d-%d in Petersen graph", e[0], e[1], w)
+			}
+		}
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	g := DeBruijn(2, 3)
+	if g.N() != 8 {
+		t.Fatalf("N=%d want 8", g.N())
+	}
+	if g.MaxDegree() > 4 {
+		t.Errorf("max degree=%d want ≤4", g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Error("disconnected")
+	}
+	// Binary de Bruijn graphs are Hamiltonian (de Bruijn sequences exist).
+	if !g.HamiltonianLabeled() {
+		t.Error("B(2,3) should be Hamiltonian-labeled")
+	}
+	g4 := DeBruijn(2, 4)
+	if g4.N() != 16 || !g4.HamiltonianLabeled() {
+		t.Errorf("B(2,4): N=%d ham=%v", g4.N(), g4.HamiltonianLabeled())
+	}
+	g3 := DeBruijn(3, 2)
+	if g3.N() != 9 || !g3.IsConnected() {
+		t.Errorf("B(3,2): N=%d connected=%v", g3.N(), g3.IsConnected())
+	}
+}
+
+func TestShuffleExchange(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		g := ShuffleExchange(d)
+		if g.N() != 1<<d {
+			t.Fatalf("d=%d: N=%d", d, g.N())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+		if g.MaxDegree() > 3 {
+			t.Fatalf("d=%d: max degree=%d want ≤3", d, g.MaxDegree())
+		}
+	}
+	if g := ShuffleExchange(2); !g.HamiltonianLabeled() {
+		t.Error("SE(2) should be Hamiltonian-labeled")
+	}
+}
+
+func TestBFSAndShortestPath(t *testing.T) {
+	g := Cycle(8)
+	dist := g.BFS(0)
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d]=%d want %d", i, dist[i], w)
+		}
+	}
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Errorf("path 0->3 = %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Errorf("path step %d-%d not an edge", p[i], p[i+1])
+		}
+	}
+	if p := g.ShortestPath(5, 5); len(p) != 1 || p[0] != 5 {
+		t.Errorf("trivial path = %v", p)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := Path(4)
+	rg, err := Relabel(g, []int{3, 2, 1, 0}) // reverse
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.HamiltonianLabeled() {
+		t.Error("reversed path lost Hamiltonian labeling")
+	}
+	if _, err := Relabel(g, []int{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := Relabel(g, []int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+func TestFindHamiltonianPath(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want bool
+	}{
+		{Path(6), true},
+		{Cycle(5), true},
+		{Complete(4), true},
+		{Star(5), false},
+		{CompleteBinaryTree(3), false},
+	}
+	for _, c := range cases {
+		p := c.g.FindHamiltonianPath()
+		if (p != nil) != c.want {
+			t.Errorf("%s: found=%v want %v", c.g.Name(), p != nil, c.want)
+			continue
+		}
+		if p == nil {
+			continue
+		}
+		seen := make(map[int]bool)
+		for i, v := range p {
+			seen[v] = true
+			if i > 0 && !c.g.HasEdge(p[i-1], v) {
+				t.Errorf("%s: path step %d-%d not an edge", c.g.Name(), p[i-1], v)
+			}
+		}
+		if len(seen) != c.g.N() {
+			t.Errorf("%s: path covers %d nodes", c.g.Name(), len(seen))
+		}
+	}
+}
+
+func TestHamiltonianRelabelIdempotent(t *testing.T) {
+	g := Path(5)
+	rg, ok := HamiltonianRelabel(g)
+	if !ok || rg != g {
+		t.Error("already-labeled graph should be returned unchanged")
+	}
+	tree := CompleteBinaryTree(3)
+	rg, ok = HamiltonianRelabel(tree)
+	if ok || rg != tree {
+		t.Error("tree should be returned unchanged with ok=false")
+	}
+}
+
+func TestDiameterKnownValues(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(7), 6},
+		{Cycle(7), 3},
+		{Complete(6), 1},
+		{Star(8), 2},
+		{CompleteBinaryTree(3), 4},
+		{Petersen(), 2},
+	}
+	for _, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Errorf("%s diameter=%d want %d", c.g.Name(), got, c.want)
+		}
+	}
+}
+
+// Property: in any Path(n), Dist(u,v) == |u-v|.
+func TestQuickPathDistance(t *testing.T) {
+	g := Path(17)
+	f := func(a, b uint8) bool {
+		u, v := int(a)%17, int(b)%17
+		want := u - v
+		if want < 0 {
+			want = -want
+		}
+		return g.Dist(u, v) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFS distances obey the triangle inequality over an edge.
+func TestQuickBFSEdgeConsistency(t *testing.T) {
+	gs := []*Graph{Petersen(), DeBruijn(2, 3), CompleteBinaryTree(4), Cycle(9)}
+	for _, g := range gs {
+		for src := 0; src < g.N(); src++ {
+			dist := g.BFS(src)
+			for _, e := range g.Edges() {
+				d := dist[e[0]] - dist[e[1]]
+				if d > 1 || d < -1 {
+					t.Fatalf("%s: BFS from %d differs by %d across edge %v", g.Name(), src, d, e)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDiameterPetersen(b *testing.B) {
+	g := Petersen()
+	for i := 0; i < b.N; i++ {
+		if g.Diameter() != 2 {
+			b.Fatal("wrong diameter")
+		}
+	}
+}
+
+func BenchmarkFindHamPathDeBruijn16(b *testing.B) {
+	g := DeBruijn(2, 4)
+	for i := 0; i < b.N; i++ {
+		if g.FindHamiltonianPath() == nil {
+			b.Fatal("no path found")
+		}
+	}
+}

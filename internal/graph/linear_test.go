@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkOrder(t *testing.T, g *Graph, order []int, maxDilation int) {
+	t.Helper()
+	if len(order) != g.N() {
+		t.Fatalf("%s: order has %d entries for %d nodes", g.Name(), len(order), g.N())
+	}
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if v < 0 || v >= g.N() || seen[v] {
+			t.Fatalf("%s: order %v is not a permutation", g.Name(), order)
+		}
+		seen[v] = true
+	}
+	for i := 1; i < len(order); i++ {
+		if d := g.Dist(order[i-1], order[i]); d > maxDilation {
+			t.Fatalf("%s: consecutive order vertices %d,%d at distance %d > %d",
+				g.Name(), order[i-1], order[i], d, maxDilation)
+		}
+	}
+}
+
+func TestThreeDilationOrderTrees(t *testing.T) {
+	for levels := 1; levels <= 6; levels++ {
+		g := CompleteBinaryTree(levels)
+		checkOrder(t, g, ThreeDilationOrder(g), 3)
+	}
+}
+
+func TestThreeDilationOrderStars(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 17} {
+		g := Star(n)
+		checkOrder(t, g, ThreeDilationOrder(g), 3)
+	}
+}
+
+func TestThreeDilationOrderHamiltonianIsIdentity(t *testing.T) {
+	g := Path(6)
+	order := ThreeDilationOrder(g)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("Hamiltonian-labeled graph reordered: %v", order)
+		}
+	}
+}
+
+func TestThreeDilationOrderSingleton(t *testing.T) {
+	g := MustNew("one", 1, nil)
+	order := ThreeDilationOrder(g)
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// TestThreeDilationOrderRandomTrees fuzzes the Karaganis construction
+// over random trees, the worst case for the spanning-tree argument.
+func TestThreeDilationOrderRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		var edges [][2]int
+		for v := 1; v < n; v++ {
+			edges = append(edges, [2]int{v, rng.Intn(v)}) // random recursive tree
+		}
+		g := MustNew("randtree", n, edges)
+		checkOrder(t, g, ThreeDilationOrder(g), 3)
+	}
+}
+
+// TestThreeDilationOrderRandomGraphs: arbitrary connected graphs (the
+// order only uses a spanning tree, so dilation ≤ 3 still holds).
+func TestThreeDilationOrderRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		var edges [][2]int
+		for v := 1; v < n; v++ {
+			edges = append(edges, [2]int{v, rng.Intn(v)})
+		}
+		// Extra random edges.
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g, err := New("tmp", n, append(edges, [2]int{a, b}))
+				if err == nil && g != nil {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+		}
+		g := MustNew("randgraph", n, edges)
+		checkOrder(t, g, ThreeDilationOrder(g), 3)
+	}
+}
+
+func TestLinearRelabel(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	rg := LinearRelabel(g)
+	if rg.N() != g.N() {
+		t.Fatal("node count changed")
+	}
+	if d := rg.MaxLabelDilation(); d > 3 {
+		t.Fatalf("relabel dilation %d > 3", d)
+	}
+	// In-order labeling of a 4-level tree has worse dilation than 3?
+	// (It happens to be ≤ 2h; just check LinearRelabel is no worse.)
+	if rg.MaxLabelDilation() > g.MaxLabelDilation() {
+		t.Fatalf("LinearRelabel made dilation worse: %d vs %d",
+			rg.MaxLabelDilation(), g.MaxLabelDilation())
+	}
+}
+
+func TestLinearRelabelStarDilation(t *testing.T) {
+	g := Star(9)
+	rg := LinearRelabel(g)
+	if d := rg.MaxLabelDilation(); d > 2 {
+		t.Fatalf("star relabel dilation %d (hub structure allows 2)", d)
+	}
+}
+
+func BenchmarkThreeDilationOrderTree6(b *testing.B) {
+	g := CompleteBinaryTree(6)
+	for i := 0; i < b.N; i++ {
+		ThreeDilationOrder(g)
+	}
+}

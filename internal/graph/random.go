@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random factor generators, used for fuzzing the sorting algorithm over
+// arbitrary connected topologies and exposed for users who want
+// irregular factors.
+
+// RandomTree returns a uniform random recursive tree on n nodes: node v
+// attaches to a uniformly random earlier node. Deterministic in seed.
+// The result is relabeled along a dilation-≤3 linear order so sorting
+// sweeps stay cheap.
+func RandomTree(n int, seed int64) *Graph {
+	if n < 1 {
+		panic("graph: random tree needs n ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v, rng.Intn(v)})
+	}
+	g := MustNew(fmt.Sprintf("randtree%d_%d", n, seed), n, edges)
+	if rg, ok := HamiltonianRelabel(g); ok && n <= 20 {
+		return rg
+	}
+	return LinearRelabel(g)
+}
+
+// RandomConnected returns a random connected graph: a random tree plus
+// `extra` additional random edges (duplicates skipped). Deterministic in
+// seed. Relabeled along a Hamiltonian path when small enough to search
+// and one exists, else along a dilation-≤3 linear order.
+func RandomConnected(n, extra int, seed int64) *Graph {
+	if n < 1 {
+		panic("graph: random graph needs n ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]int{a, b}] {
+			seen[[2]int{a, b}] = true
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	for v := 1; v < n; v++ {
+		add(v, rng.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	g := MustNew(fmt.Sprintf("randgraph%d_%d", n, seed), n, edges)
+	if n <= 18 {
+		if rg, ok := HamiltonianRelabel(g); ok {
+			return rg
+		}
+	}
+	return LinearRelabel(g)
+}

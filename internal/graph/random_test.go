@@ -1,0 +1,60 @@
+package graph
+
+import "testing"
+
+func TestRandomTreeProperties(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 2 + int(seed*3)%30
+		g := RandomTree(n, seed)
+		if g.N() != n {
+			t.Fatalf("seed %d: N=%d want %d", seed, g.N(), n)
+		}
+		if len(g.Edges()) != n-1 {
+			t.Fatalf("seed %d: %d edges in a tree of %d nodes", seed, len(g.Edges()), n)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		if d := g.MaxLabelDilation(); d > 3 {
+			t.Fatalf("seed %d: label dilation %d > 3", seed, d)
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a, b := RandomTree(17, 5), RandomTree(17, 5)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestRandomConnectedProperties(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		n := 3 + int(seed*2)%20
+		g := RandomConnected(n, n/2, seed)
+		if !g.IsConnected() || g.N() != n {
+			t.Fatalf("seed %d: bad graph", seed)
+		}
+		if len(g.Edges()) < n-1 {
+			t.Fatalf("seed %d: fewer edges than a spanning tree", seed)
+		}
+		if d := g.MaxLabelDilation(); d > 3 {
+			t.Fatalf("seed %d: label dilation %d > 3", seed, d)
+		}
+	}
+}
+
+func TestRandomSingleton(t *testing.T) {
+	if RandomTree(1, 0).N() != 1 {
+		t.Error("singleton tree")
+	}
+	if RandomConnected(1, 0, 0).N() != 1 {
+		t.Error("singleton graph")
+	}
+}

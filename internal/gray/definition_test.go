@@ -1,0 +1,96 @@
+package gray
+
+import "testing"
+
+// This file validates the package against the paper's Definition 3
+// taken literally: Q_1 = {0,…,N-1} and Q_r = CON{[u]Q_{r-1}}, where
+// [u]Q_{r-1} prefixes Q_{r-1} with u for even u and prefixes the
+// reversed sequence R(Q_{r-1}) for odd u. The recursive construction
+// below is an independent implementation used only as a test oracle.
+
+// definitionSequence builds Q_r exactly as Definition 3 states.
+func definitionSequence(n, r int) [][]int {
+	if r == 1 {
+		seq := make([][]int, n)
+		for u := 0; u < n; u++ {
+			seq[u] = []int{u}
+		}
+		return seq
+	}
+	inner := definitionSequence(n, r-1)
+	var out [][]int
+	for u := 0; u < n; u++ {
+		if u%2 == 0 {
+			for _, d := range inner {
+				out = append(out, append(append([]int(nil), d...), u))
+			}
+		} else {
+			for i := len(inner) - 1; i >= 0; i-- {
+				out = append(out, append(append([]int(nil), inner[i]...), u))
+			}
+		}
+	}
+	return out
+}
+
+func TestDefinition3Literal(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, r := range []int{1, 2, 3, 4} {
+			want := definitionSequence(n, r)
+			got := Sequence(n, r)
+			if len(want) != len(got) {
+				t.Fatalf("n=%d r=%d: lengths differ", n, r)
+			}
+			for i := range want {
+				for j := range want[i] {
+					if want[i][j] != got[i][j] {
+						t.Fatalf("n=%d r=%d: position %d: definition %v vs implementation %v",
+							n, r, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// definitionSequenceMixed generalizes Definition 3 to per-dimension
+// radices: the prefix symbol ranges over the leftmost dimension's radix.
+func definitionSequenceMixed(radix []int) [][]int {
+	r := len(radix)
+	if r == 1 {
+		seq := make([][]int, radix[0])
+		for u := 0; u < radix[0]; u++ {
+			seq[u] = []int{u}
+		}
+		return seq
+	}
+	inner := definitionSequenceMixed(radix[:r-1])
+	var out [][]int
+	for u := 0; u < radix[r-1]; u++ {
+		if u%2 == 0 {
+			for _, d := range inner {
+				out = append(out, append(append([]int(nil), d...), u))
+			}
+		} else {
+			for i := len(inner) - 1; i >= 0; i-- {
+				out = append(out, append(append([]int(nil), inner[i]...), u))
+			}
+		}
+	}
+	return out
+}
+
+func TestDefinition3LiteralMixed(t *testing.T) {
+	for _, radix := range [][]int{{2, 3}, {3, 2}, {4, 3, 2}, {2, 5, 3}, {3, 3, 2, 2}} {
+		want := definitionSequenceMixed(radix)
+		got := SequenceMixed(radix)
+		for i := range want {
+			for j := range want[i] {
+				if want[i][j] != got[i][j] {
+					t.Fatalf("radix %v: position %d: definition %v vs implementation %v",
+						radix, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}

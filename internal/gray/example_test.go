@@ -1,0 +1,53 @@
+package gray_test
+
+import (
+	"fmt"
+
+	"productsort/internal/gray"
+)
+
+// The paper's running example: the 3-ary Gray code of order 2 is
+// {00, 01, 02, 12, 11, 10, 20, 21, 22}.
+func ExampleSequence() {
+	for _, d := range gray.Sequence(3, 2) {
+		fmt.Print(gray.String(d), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 00 01 02 12 11 10 20 21 22
+}
+
+// SnakeRank converts a label to its snake position; SnakeUnrank inverts.
+func ExampleSnakeRank() {
+	d := []int{0, 2, 1} // position1=0, position2=2, position3=1: label "120"
+	pos := gray.SnakeRank(d, 3)
+	fmt.Println(pos)
+	back := gray.SnakeUnrank(pos, 3, make([]int, 3))
+	fmt.Println(gray.String(back))
+	// Output:
+	// 11
+	// 120
+}
+
+// SplitPos gives the snake positions of the keys whose dimension-1
+// symbol is v: the reason the paper's Step 1 moves no data.
+func ExampleSplitPos() {
+	for j := 0; j < 4; j++ {
+		fmt.Print(gray.SplitPos(j, 1, 3), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 1 4 7 10
+}
+
+// Mixed radices power heterogeneous products such as rectangular grids.
+func ExampleSnakeRankMixed() {
+	radix := []int{4, 2} // 4 columns, 2 rows
+	for pos := 0; pos < 8; pos++ {
+		d := gray.SnakeUnrankMixed(pos, radix, make([]int, 2))
+		fmt.Printf("(%d,%d) ", d[0], d[1])
+	}
+	fmt.Println()
+	// Output:
+	// (0,0) (1,0) (2,0) (3,0) (3,1) (2,1) (1,1) (0,1)
+}

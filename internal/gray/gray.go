@@ -1,0 +1,229 @@
+// Package gray implements N-ary Gray-code sequences and the snake order
+// used by the generalized product-network sorting algorithm.
+//
+// Terminology follows Fernández & Efe. A node of the r-dimensional product
+// graph PG_r is labeled by an r-tuple of symbols from {0, …, N-1}. The
+// tuple is indexed 1…r with 1 the rightmost (least significant) symbol
+// position; in Go we store it as a slice d of length r with d[0] the
+// symbol at position 1 and d[r-1] the symbol at position r.
+//
+// The snake order (Definition 2) lists the nodes of PG_r so that
+// consecutive labels have unit Hamming distance: it is exactly the N-ary
+// Gray-code sequence Q_r of Definition 3. SnakeRank and SnakeUnrank
+// convert between a label and its position in Q_r. Rank and Unrank
+// convert between a label and its lexicographic (row-major) position,
+// with dimension 1 least significant.
+package gray
+
+import "fmt"
+
+// Pow returns n**k for non-negative k. It panics if the result would
+// overflow a 64-bit int, since every caller uses it to size slices.
+func Pow(n, k int) int {
+	if k < 0 {
+		panic("gray: negative exponent")
+	}
+	p := 1
+	for i := 0; i < k; i++ {
+		if n != 0 && p > int(^uint(0)>>1)/n {
+			panic(fmt.Sprintf("gray: %d**%d overflows int", n, k))
+		}
+		p *= n
+	}
+	return p
+}
+
+// Rank returns the lexicographic (row-major) index of label d in radix n:
+// d[0] is the least significant digit. All digits must lie in [0, n).
+func Rank(d []int, n int) int {
+	r := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] < 0 || d[i] >= n {
+			panic(fmt.Sprintf("gray: digit %d out of range [0,%d)", d[i], n))
+		}
+		r = r*n + d[i]
+	}
+	return r
+}
+
+// Unrank writes the radix-n digits of rank into out (d[0] least
+// significant) and returns out. len(out) determines the dimension r;
+// rank must lie in [0, n**r).
+func Unrank(rank, n int, out []int) []int {
+	if rank < 0 {
+		panic("gray: negative rank")
+	}
+	for i := range out {
+		out[i] = rank % n
+		rank /= n
+	}
+	if rank != 0 {
+		panic("gray: rank out of range for dimension")
+	}
+	return out
+}
+
+// Weight returns the Hamming weight of label d: the sum of its symbols.
+// (Section 2 of the paper; used to decide even/odd subgraph parity.)
+func Weight(d []int) int {
+	w := 0
+	for _, x := range d {
+		w += x
+	}
+	return w
+}
+
+// WeightExcept returns the Hamming weight of d with the symbol positions
+// listed in skip omitted, emulating the "*" (all) symbol of the paper.
+// skip holds zero-based indices into d.
+func WeightExcept(d []int, skip ...int) int {
+	w := 0
+	for i, x := range d {
+		omitted := false
+		for _, s := range skip {
+			if i == s {
+				omitted = true
+				break
+			}
+		}
+		if !omitted {
+			w += x
+		}
+	}
+	return w
+}
+
+// Dist returns the Hamming distance between labels a and b as defined in
+// the paper: the sum of |a_i - b_i| over symbol positions.
+func Dist(a, b []int) int {
+	if len(a) != len(b) {
+		panic("gray: mismatched label lengths")
+	}
+	d := 0
+	for i := range a {
+		if a[i] >= b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// SnakeRank returns the position of label d in the snake order of the
+// r-dimensional product of an n-node factor graph (r = len(d)).
+//
+// Definition 2: subgraphs [u]PG_{r-1}^r are ordered by u (the leftmost
+// symbol, d[r-1]); within subgraph u the order is the snake order of
+// PG_{r-1}, reversed when u is odd.
+func SnakeRank(d []int, n int) int {
+	rank := 0
+	parity := 0 // parity of the sum of more-significant *label* digits
+	for i := len(d) - 1; i >= 0; i-- {
+		v := d[i]
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("gray: digit %d out of range [0,%d)", v, n))
+		}
+		x := v
+		if parity&1 == 1 {
+			x = n - 1 - v
+		}
+		rank = rank*n + x
+		// Unrolling Definition 2 one level shows the order of the digits
+		// below position i is reversed exactly when the sum of the label
+		// digits at positions above i is odd, so parity accumulates the
+		// original digit v, not the reflected rank digit x.
+		parity += v
+	}
+	return rank
+}
+
+// SnakeUnrank writes into out the label at position rank of the snake
+// order of the len(out)-dimensional product of an n-node factor graph,
+// and returns out. It is the inverse of SnakeRank.
+func SnakeUnrank(rank, n int, out []int) []int {
+	r := len(out)
+	total := Pow(n, r)
+	if rank < 0 || rank >= total {
+		panic(fmt.Sprintf("gray: snake rank %d out of range [0,%d)", rank, total))
+	}
+	parity := 0
+	scale := total
+	for i := r - 1; i >= 0; i-- {
+		scale /= n
+		x := rank / scale
+		rank %= scale
+		v := x
+		if parity&1 == 1 {
+			v = n - 1 - x
+		}
+		out[i] = v
+		parity += v
+	}
+	return out
+}
+
+// Sequence returns the full N-ary Gray-code sequence Q_r as a slice of
+// n**r labels in snake order. Each label is a fresh slice.
+func Sequence(n, r int) [][]int {
+	total := Pow(n, r)
+	seq := make([][]int, total)
+	for i := range seq {
+		seq[i] = SnakeUnrank(i, n, make([]int, r))
+	}
+	return seq
+}
+
+// SplitPos returns the position, within the snake order of PG_r, of the
+// j-th element of the subsequence [u]Q_{r-1}^1 (all labels whose symbol
+// at position 1 equals u). Per Section 2 these positions are
+// u, 2N-u-1, 2N+u, 4N-u-1, 4N+u, …:
+//
+//	j even: j*N + u
+//	j odd:  j*N + (N-1-u)
+func SplitPos(j, u, n int) int {
+	if u < 0 || u >= n {
+		panic("gray: u out of range")
+	}
+	if j&1 == 0 {
+		return j*n + u
+	}
+	return j*n + (n - 1 - u)
+}
+
+// GroupLabel returns the group label of node label d with respect to the
+// given erased symbol positions (zero-based indices): the remaining
+// symbols in order of increasing position. For example erasing position 0
+// (dimension 1) of d yields the label of the G-subgraph containing d, as
+// in the [*]Q^1 group sequence of Section 2.
+func GroupLabel(d []int, erase ...int) []int {
+	g := make([]int, 0, len(d))
+	for i, x := range d {
+		skip := false
+		for _, e := range erase {
+			if i == e {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			g = append(g, x)
+		}
+	}
+	return g
+}
+
+// String formats a label in the paper's convention: most significant
+// (position r) symbol first, e.g. the tuple stored as d=[1,2,0] prints
+// as "021".
+func String(d []int) string {
+	b := make([]byte, 0, 2*len(d))
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] > 9 {
+			b = append(b, fmt.Sprintf("(%d)", d[i])...)
+		} else {
+			b = append(b, byte('0'+d[i]))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,376 @@
+package gray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// labelFromString parses a paper-style label ("021" = position3..position1)
+// into the internal slice form (d[0] = position 1).
+func labelFromString(s string) []int {
+	d := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		d[len(s)-1-i] = int(s[i] - '0')
+	}
+	return d
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 3, 27}, {10, 4, 10000}, {1, 100, 1}, {0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := Pow(c.n, c.k); got != c.want {
+			t.Errorf("Pow(%d,%d)=%d want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow(-) with negative exponent did not panic")
+		}
+	}()
+	Pow(2, -1)
+}
+
+func TestPowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow overflow did not panic")
+		}
+	}()
+	Pow(10, 40)
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, r := range []int{1, 2, 3, 4} {
+			total := Pow(n, r)
+			buf := make([]int, r)
+			for rank := 0; rank < total; rank++ {
+				Unrank(rank, n, buf)
+				if got := Rank(buf, n); got != rank {
+					t.Fatalf("n=%d r=%d: Rank(Unrank(%d))=%d", n, r, rank, got)
+				}
+			}
+		}
+	}
+}
+
+func TestUnrankOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Unrank(8, 2, make([]int, 3)) // 8 == 2^3 is one past the end
+}
+
+// TestPaperQ2 checks the r=2, N=3 sequence printed in the paper:
+// Q_2 = {00, 01, 02, 12, 11, 10, 20, 21, 22}.
+func TestPaperQ2(t *testing.T) {
+	want := []string{"00", "01", "02", "12", "11", "10", "20", "21", "22"}
+	for i, w := range want {
+		d := labelFromString(w)
+		if got := SnakeRank(d, 3); got != i {
+			t.Errorf("SnakeRank(%s)=%d want %d", w, got, i)
+		}
+		out := SnakeUnrank(i, 3, make([]int, 2))
+		if String(out) != w {
+			t.Errorf("SnakeUnrank(%d)=%s want %s", i, String(out), w)
+		}
+	}
+}
+
+// TestPaperQ3Prefix spot-checks the r=3, N=3 sequence: Q_3 begins with
+// [0]Q_2, then [1]R(Q_2): 000..022, then 122, 121, 120, 110, ...
+func TestPaperQ3Prefix(t *testing.T) {
+	want := []string{
+		"000", "001", "002", "012", "011", "010", "020", "021", "022",
+		"122", "121", "120", "110", "111", "112", "102", "101", "100",
+		"200", "201", "202", "212", "211", "210", "220", "221", "222",
+	}
+	for i, w := range want {
+		if got := SnakeRank(labelFromString(w), 3); got != i {
+			t.Errorf("SnakeRank(%s)=%d want %d", w, got, i)
+		}
+	}
+}
+
+func TestSnakeRoundTripExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		for _, r := range []int{1, 2, 3, 4} {
+			total := Pow(n, r)
+			buf := make([]int, r)
+			for rank := 0; rank < total; rank++ {
+				SnakeUnrank(rank, n, buf)
+				if got := SnakeRank(buf, n); got != rank {
+					t.Fatalf("n=%d r=%d: SnakeRank(SnakeUnrank(%d))=%d", n, r, rank, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSnakeUnitDistance verifies the defining Gray-code property:
+// consecutive terms of Q_r have unit Hamming distance. This holds for
+// even and odd N alike.
+func TestSnakeUnitDistance(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, r := range []int{1, 2, 3, 4} {
+			seq := Sequence(n, r)
+			for i := 1; i < len(seq); i++ {
+				if d := Dist(seq[i-1], seq[i]); d != 1 {
+					t.Fatalf("n=%d r=%d: Dist(Q[%d],Q[%d])=%d want 1 (%v vs %v)",
+						n, r, i-1, i, d, seq[i-1], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnakeCoversAll verifies Q_r is a permutation of all labels.
+func TestSnakeCoversAll(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, r := range []int{1, 2, 3} {
+			seq := Sequence(n, r)
+			seen := make(map[int]bool, len(seq))
+			for _, d := range seq {
+				seen[Rank(d, n)] = true
+			}
+			if len(seen) != Pow(n, r) {
+				t.Fatalf("n=%d r=%d: sequence covers %d labels, want %d", n, r, len(seen), Pow(n, r))
+			}
+		}
+	}
+}
+
+// TestSplitPosLemma verifies the central structural fact of Section 2:
+// the labels of Q_r whose position-1 symbol equals u occur at snake
+// positions u, 2N-u-1, 2N+u, 4N-u-1, …, and after dropping that symbol
+// they form Q_{r-1} in order.
+func TestSplitPosLemma(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, r := range []int{2, 3, 4} {
+			seq := Sequence(n, r)
+			sub := Pow(n, r-1)
+			for u := 0; u < n; u++ {
+				for j := 0; j < sub; j++ {
+					pos := SplitPos(j, u, n)
+					d := seq[pos]
+					if d[0] != u {
+						t.Fatalf("n=%d r=%d u=%d j=%d: label %v at pos %d has d[0]=%d",
+							n, r, u, j, d, pos, d[0])
+					}
+					// The remaining symbols must be the j-th label of Q_{r-1}.
+					rest := d[1:]
+					if got := SnakeRank(rest, n); got != j {
+						t.Fatalf("n=%d r=%d u=%d j=%d: rest %v has snake rank %d",
+							n, r, u, j, rest, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitPosCovers verifies that for fixed u the positions SplitPos(j,u)
+// are distinct and that over all u they cover 0..N^r-1.
+func TestSplitPosCovers(t *testing.T) {
+	n, r := 4, 3
+	total := Pow(n, r)
+	sub := total / n
+	seen := make([]bool, total)
+	for u := 0; u < n; u++ {
+		for j := 0; j < sub; j++ {
+			p := SplitPos(j, u, n)
+			if p < 0 || p >= total {
+				t.Fatalf("SplitPos(%d,%d)=%d out of range", j, u, p)
+			}
+			if seen[p] {
+				t.Fatalf("SplitPos collision at %d", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestWeightAndDist(t *testing.T) {
+	if w := Weight([]int{1, 2, 0, 4}); w != 7 {
+		t.Errorf("Weight=%d want 7", w)
+	}
+	if w := WeightExcept([]int{1, 2, 0, 4}, 1); w != 5 {
+		t.Errorf("WeightExcept=%d want 5", w)
+	}
+	if w := WeightExcept([]int{1, 2, 0, 4}, 0, 3); w != 2 {
+		t.Errorf("WeightExcept=%d want 2", w)
+	}
+	if d := Dist([]int{0, 3, 1}, []int{2, 3, 0}); d != 3 {
+		t.Errorf("Dist=%d want 3", d)
+	}
+}
+
+func TestDistMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist([]int{1}, []int{1, 2})
+}
+
+func TestGroupLabel(t *testing.T) {
+	d := []int{7, 8, 9} // positions 1,2,3
+	got := GroupLabel(d, 0)
+	if len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Errorf("GroupLabel erase dim1 = %v", got)
+	}
+	got = GroupLabel(d, 0, 1)
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("GroupLabel erase dims 1,2 = %v", got)
+	}
+}
+
+// TestGroupSequenceOrder verifies the paper's claim that the group labels
+// [*]Q^1 obtained by erasing position 1 appear in Q_{r-1} snake order,
+// each group occupying N consecutive snake positions.
+func TestGroupSequenceOrder(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, r := range []int{2, 3, 4} {
+			seq := Sequence(n, r)
+			for g := 0; g < Pow(n, r-1); g++ {
+				for k := 0; k < n; k++ {
+					d := seq[g*n+k]
+					group := GroupLabel(d, 0)
+					if got := SnakeRank(group, n); got != g {
+						t.Fatalf("n=%d r=%d: group of snake pos %d ranks %d want %d",
+							n, r, g*n+k, got, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupDirectionByParity verifies that within group g the position-1
+// symbols run ascending when the group label has even Hamming weight and
+// descending when odd (the {0,1,2} vs {2,1,0} alternation in the paper).
+func TestGroupDirectionByParity(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		r := 3
+		seq := Sequence(n, r)
+		for g := 0; g < Pow(n, r-1); g++ {
+			group := GroupLabel(seq[g*n], 0)
+			even := Weight(group)%2 == 0
+			for k := 0; k < n; k++ {
+				want := k
+				if !even {
+					want = n - 1 - k
+				}
+				if got := seq[g*n+k][0]; got != want {
+					t.Fatalf("n=%d group %d (weight parity even=%v) slot %d: symbol %d want %d",
+						n, g, even, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if s := String([]int{2, 1, 0}); s != "012" {
+		t.Errorf("String=%q want %q", s, "012")
+	}
+	if s := String([]int{11, 0}); s != "0(11)" {
+		t.Errorf("String=%q want %q", s, "0(11)")
+	}
+}
+
+// Property: SnakeRank is a bijection consistent with SnakeUnrank for
+// random (n, r, rank) triples.
+func TestQuickSnakeBijection(t *testing.T) {
+	f := func(nRaw, rRaw uint8, rankRaw uint16) bool {
+		n := 2 + int(nRaw)%7 // 2..8
+		r := 1 + int(rRaw)%4 // 1..4
+		total := Pow(n, r)
+		rank := int(rankRaw) % total
+		d := SnakeUnrank(rank, n, make([]int, r))
+		return SnakeRank(d, n) == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adjacent snake ranks always differ in exactly one symbol
+// position, and by exactly one in value.
+func TestQuickSnakeAdjacency(t *testing.T) {
+	f := func(nRaw, rRaw uint8, rankRaw uint16) bool {
+		n := 2 + int(nRaw)%7
+		r := 1 + int(rRaw)%4
+		total := Pow(n, r)
+		rank := int(rankRaw) % (total - 1 + 1)
+		if rank >= total-1 {
+			rank = total - 2
+		}
+		if rank < 0 {
+			return true // n^r == 1 edge case cannot occur (n>=2, r>=1)
+		}
+		a := SnakeUnrank(rank, n, make([]int, r))
+		b := SnakeUnrank(rank+1, n, make([]int, r))
+		diffs := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diffs++
+				if a[i]-b[i] != 1 && b[i]-a[i] != 1 {
+					return false
+				}
+			}
+		}
+		return diffs == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnakeRankDigitRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SnakeRank([]int{3}, 3)
+}
+
+func TestSnakeUnrankRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SnakeUnrank(27, 3, make([]int, 3))
+}
+
+func BenchmarkSnakeRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	labels := make([][]int, 1024)
+	for i := range labels {
+		labels[i] = SnakeUnrank(rng.Intn(Pow(4, 6)), 4, make([]int, 6))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SnakeRank(labels[i%len(labels)], 4)
+	}
+}
+
+func BenchmarkSnakeUnrank(b *testing.B) {
+	buf := make([]int, 6)
+	total := Pow(4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SnakeUnrank(i%total, 4, buf)
+	}
+}

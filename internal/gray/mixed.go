@@ -1,0 +1,121 @@
+package gray
+
+import "fmt"
+
+// Mixed-radix generalizations: dimension i carries symbols from
+// {0..radix[i]-1} (radix[0] belongs to position 1, the least
+// significant). The reflected construction of Definition 3 carries over
+// verbatim — the direction of the digits below position i reverses when
+// the sum of the label digits above i is odd — and consecutive terms
+// still differ by exactly ±1 in exactly one position. These power the
+// heterogeneous product networks (e.g. rectangular grids).
+
+// PowMixed returns the product of the radices: the number of labels.
+func PowMixed(radix []int) int {
+	p := 1
+	for _, n := range radix {
+		if n < 1 {
+			panic("gray: radix must be positive")
+		}
+		if p > int(^uint(0)>>1)/n {
+			panic("gray: mixed radix product overflows int")
+		}
+		p *= n
+	}
+	return p
+}
+
+// RankMixed returns the lexicographic index of label d (d[0] least
+// significant) under the given radices.
+func RankMixed(d, radix []int) int {
+	if len(d) != len(radix) {
+		panic("gray: label/radix length mismatch")
+	}
+	r := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i] < 0 || d[i] >= radix[i] {
+			panic(fmt.Sprintf("gray: digit %d out of range [0,%d)", d[i], radix[i]))
+		}
+		r = r*radix[i] + d[i]
+	}
+	return r
+}
+
+// UnrankMixed writes the mixed-radix digits of rank into out.
+func UnrankMixed(rank int, radix []int, out []int) []int {
+	if len(out) != len(radix) {
+		panic("gray: buffer/radix length mismatch")
+	}
+	if rank < 0 {
+		panic("gray: negative rank")
+	}
+	for i := range out {
+		out[i] = rank % radix[i]
+		rank /= radix[i]
+	}
+	if rank != 0 {
+		panic("gray: rank out of range")
+	}
+	return out
+}
+
+// SnakeRankMixed returns the snake position of label d under the given
+// radices (Definition 2 with per-dimension symbol counts).
+func SnakeRankMixed(d, radix []int) int {
+	if len(d) != len(radix) {
+		panic("gray: label/radix length mismatch")
+	}
+	rank := 0
+	parity := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		v := d[i]
+		n := radix[i]
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("gray: digit %d out of range [0,%d)", v, n))
+		}
+		x := v
+		if parity&1 == 1 {
+			x = n - 1 - v
+		}
+		rank = rank*n + x
+		parity += v
+	}
+	return rank
+}
+
+// SnakeUnrankMixed writes into out the label at the given snake
+// position; the inverse of SnakeRankMixed.
+func SnakeUnrankMixed(rank int, radix []int, out []int) []int {
+	if len(out) != len(radix) {
+		panic("gray: buffer/radix length mismatch")
+	}
+	total := PowMixed(radix)
+	if rank < 0 || rank >= total {
+		panic(fmt.Sprintf("gray: snake rank %d out of range [0,%d)", rank, total))
+	}
+	parity := 0
+	scale := total
+	for i := len(radix) - 1; i >= 0; i-- {
+		n := radix[i]
+		scale /= n
+		x := rank / scale
+		rank %= scale
+		v := x
+		if parity&1 == 1 {
+			v = n - 1 - x
+		}
+		out[i] = v
+		parity += v
+	}
+	return out
+}
+
+// SequenceMixed returns the full mixed-radix Gray sequence.
+func SequenceMixed(radix []int) [][]int {
+	total := PowMixed(radix)
+	seq := make([][]int, total)
+	for i := range seq {
+		seq[i] = SnakeUnrankMixed(i, radix, make([]int, len(radix)))
+	}
+	return seq
+}

@@ -1,0 +1,177 @@
+package gray
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var mixedRadices = [][]int{
+	{2}, {5}, {2, 3}, {3, 2}, {4, 4}, {2, 3, 4}, {4, 3, 2}, {5, 2, 3}, {2, 2, 2, 2}, {3, 5, 2, 4},
+}
+
+func TestPowMixed(t *testing.T) {
+	if PowMixed([]int{2, 3, 4}) != 24 {
+		t.Error("PowMixed wrong")
+	}
+	if PowMixed(nil) != 1 {
+		t.Error("empty product should be 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero radix accepted")
+		}
+	}()
+	PowMixed([]int{2, 0})
+}
+
+func TestRankUnrankMixedRoundTrip(t *testing.T) {
+	for _, radix := range mixedRadices {
+		total := PowMixed(radix)
+		buf := make([]int, len(radix))
+		for rank := 0; rank < total; rank++ {
+			UnrankMixed(rank, radix, buf)
+			if got := RankMixed(buf, radix); got != rank {
+				t.Fatalf("radix %v: round trip broke at %d", radix, rank)
+			}
+		}
+	}
+}
+
+func TestSnakeMixedRoundTrip(t *testing.T) {
+	for _, radix := range mixedRadices {
+		total := PowMixed(radix)
+		buf := make([]int, len(radix))
+		for rank := 0; rank < total; rank++ {
+			SnakeUnrankMixed(rank, radix, buf)
+			if got := SnakeRankMixed(buf, radix); got != rank {
+				t.Fatalf("radix %v: snake round trip broke at %d", radix, rank)
+			}
+		}
+	}
+}
+
+// TestSnakeMixedUnitDistance: consecutive mixed-radix snake labels
+// differ by exactly ±1 in exactly one position.
+func TestSnakeMixedUnitDistance(t *testing.T) {
+	for _, radix := range mixedRadices {
+		seq := SequenceMixed(radix)
+		for i := 1; i < len(seq); i++ {
+			if d := Dist(seq[i-1], seq[i]); d != 1 {
+				t.Fatalf("radix %v: Dist(Q[%d],Q[%d])=%d", radix, i-1, i, d)
+			}
+		}
+	}
+}
+
+// TestSnakeMixedCoversAll: the sequence is a permutation of all labels.
+func TestSnakeMixedCoversAll(t *testing.T) {
+	for _, radix := range mixedRadices {
+		seq := SequenceMixed(radix)
+		seen := make(map[int]bool, len(seq))
+		for _, d := range seq {
+			seen[RankMixed(d, radix)] = true
+		}
+		if len(seen) != PowMixed(radix) {
+			t.Fatalf("radix %v: covers %d labels", radix, len(seen))
+		}
+	}
+}
+
+// TestMixedMatchesHomogeneous: with equal radices the mixed functions
+// agree with the homogeneous ones.
+func TestMixedMatchesHomogeneous(t *testing.T) {
+	radix := []int{4, 4, 4}
+	buf := make([]int, 3)
+	for rank := 0; rank < 64; rank++ {
+		a := SnakeUnrankMixed(rank, radix, make([]int, 3))
+		b := SnakeUnrank(rank, 4, make([]int, 3))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mixed/homogeneous disagree at %d: %v vs %v", rank, a, b)
+			}
+		}
+		if SnakeRankMixed(a, radix) != SnakeRank(a, 4) {
+			t.Fatalf("ranks disagree at %d", rank)
+		}
+		UnrankMixed(rank, radix, buf)
+		if RankMixed(buf, radix) != Rank(buf, 4) {
+			t.Fatalf("lex ranks disagree at %d", rank)
+		}
+	}
+}
+
+// TestSplitPosMixed: the split property of Section 2 holds with the
+// dimension-1 radix: labels with position-1 symbol v occur at snake
+// positions SplitPos(j, v, N1), and the residual labels form the snake
+// sequence of the remaining radices.
+func TestSplitPosMixed(t *testing.T) {
+	for _, radix := range [][]int{{2, 3}, {3, 2, 4}, {4, 3, 2}, {5, 4, 2}} {
+		seq := SequenceMixed(radix)
+		n1 := radix[0]
+		rest := radix[1:]
+		sub := PowMixed(rest)
+		for v := 0; v < n1; v++ {
+			for j := 0; j < sub; j++ {
+				pos := SplitPos(j, v, n1)
+				d := seq[pos]
+				if d[0] != v {
+					t.Fatalf("radix %v v=%d j=%d: label %v at pos %d", radix, v, j, d, pos)
+				}
+				if got := SnakeRankMixed(d[1:], rest); got != j {
+					t.Fatalf("radix %v v=%d j=%d: residual rank %d", radix, v, j, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupParityMixed: chunks of N1·N2 consecutive snake positions
+// share their upper digits, and the traversal direction of each chunk
+// alternates with the Hamming weight parity of those upper digits —
+// the property Step 4 of the heterogeneous merge relies on.
+func TestGroupParityMixed(t *testing.T) {
+	for _, radix := range [][]int{{2, 3, 2}, {4, 3, 2}, {3, 3, 2, 2}} {
+		seq := SequenceMixed(radix)
+		chunk := radix[0] * radix[1]
+		for z := 0; z*chunk < len(seq); z++ {
+			first := seq[z*chunk]
+			upper := first[2:]
+			w := 0
+			for _, x := range upper {
+				w += x
+			}
+			for t2 := 0; t2 < chunk; t2++ {
+				d := seq[z*chunk+t2]
+				for i := 2; i < len(d); i++ {
+					if d[i] != upper[i-2] {
+						t.Fatalf("radix %v chunk %d: upper digits changed inside chunk", radix, z)
+					}
+				}
+				// Local position within the chunk under the 2-dim snake.
+				local := SnakeRankMixed(d[:2], radix[:2])
+				want := t2
+				if w%2 == 1 {
+					want = chunk - 1 - t2
+				}
+				if local != want {
+					t.Fatalf("radix %v chunk %d t=%d: local pos %d want %d (parity %d)",
+						radix, z, t2, local, want, w%2)
+				}
+			}
+		}
+	}
+}
+
+// Property: mixed snake bijection for random radices.
+func TestQuickSnakeMixed(t *testing.T) {
+	f := func(seedA, seedB, seedC uint8, rankRaw uint16) bool {
+		radix := []int{2 + int(seedA)%4, 2 + int(seedB)%4, 2 + int(seedC)%4}
+		total := PowMixed(radix)
+		rank := int(rankRaw) % total
+		d := SnakeUnrankMixed(rank, radix, make([]int, 3))
+		return SnakeRankMixed(d, radix) == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package mergenet_test
+
+import (
+	"fmt"
+
+	"productsort/internal/graph"
+	"productsort/internal/mergenet"
+	"productsort/internal/simnet"
+)
+
+// A recorded schedule is an ordinary sorting network: extract once,
+// apply to any slice.
+func ExampleExtract() {
+	s, err := mergenet.Extract(graph.K2(), 3, nil) // 8-processor hypercube
+	if err != nil {
+		panic(err)
+	}
+	keys := []simnet.Key{7, 3, 5, 1, 6, 2, 4, 0}
+	s.Apply(keys)
+	fmt.Println(keys)
+	fmt.Println(s.Inputs, "inputs,", s.Size(), "comparators")
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+	// 8 inputs, 52 comparators
+}

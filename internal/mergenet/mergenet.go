@@ -1,0 +1,247 @@
+// Package mergenet extracts the multiway-merge sorting algorithm's
+// oblivious compare-exchange schedule as a reusable comparator network.
+//
+// Section 3 of the paper develops the merge "without regard to any
+// specific network … it does not even matter whether the algorithm is
+// performed sequentially or in parallel", and Section 3.2 sketches how
+// the same recursion yields sorting networks. This package makes that
+// concrete: running the algorithm once against a recording executor
+// yields the full phase list; re-expressed in snake coordinates it is a
+// sorting network for N^r inputs that can be applied to any slice,
+// compared against Batcher's constructions, or replayed with merge-split
+// operators to sort far more keys than processors (package blocksort).
+package mergenet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"productsort/internal/baseline"
+	"productsort/internal/core"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/sort2d"
+)
+
+// Schedule is the oblivious phase list of one full sort on a product
+// network, expressed in snake coordinates: phase[i] is a set of
+// node-disjoint (lo, hi) position pairs executed in parallel, and after
+// applying every phase in order, any input is sorted ascending by
+// position.
+type Schedule struct {
+	// Network names the product network the schedule was extracted from.
+	Network string
+	// Inputs is the sequence length N^r.
+	Inputs int
+	// Phases holds the compare-exchange rounds in execution order.
+	Phases [][][2]int
+}
+
+// Extract runs the sorting algorithm once on PG_r of factor g with the
+// given S_2 engine (nil = auto) and records its schedule. The keys'
+// values are irrelevant — the algorithm is oblivious — so zeros are
+// used.
+func Extract(g *graph.Graph, r int, engine sort2d.Engine) (*Schedule, error) {
+	net, err := product.New(g, r)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractNet(net, engine)
+}
+
+// ExtractNet records the schedule for an existing product network
+// (heterogeneous networks included).
+func ExtractNet(net *product.Network, engine sort2d.Engine) (*Schedule, error) {
+	m, err := simnet.New(net, make([]simnet.Key, net.Nodes()))
+	if err != nil {
+		return nil, err
+	}
+	rec := &simnet.RecorderExec{Inner: simnet.SequentialExec{}}
+	m.SetExecutor(rec)
+	core.New(engine).Sort(m)
+
+	// Convert node ids to snake positions so the network sorts plain
+	// slices into index order.
+	pos := make([]int, net.Nodes())
+	for id := range pos {
+		pos[id] = net.SnakePos(id)
+	}
+	phases := make([][][2]int, len(rec.Phases))
+	for i, ph := range rec.Phases {
+		out := make([][2]int, len(ph))
+		for j, pr := range ph {
+			out[j] = [2]int{pos[pr[0]], pos[pr[1]]}
+		}
+		phases[i] = out
+	}
+	return &Schedule{Network: net.Name(), Inputs: net.Nodes(), Phases: phases}, nil
+}
+
+// NodePhases records the schedule in node-id space (rather than snake
+// coordinates) together with the network it belongs to. This is the
+// form the message-passing SPMD engine consumes: pair endpoints are
+// physical processors.
+func NodePhases(g *graph.Graph, r int, engine sort2d.Engine) ([][][2]int, *product.Network, error) {
+	net, err := product.New(g, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	phases, err := NodePhasesNet(net, engine)
+	return phases, net, err
+}
+
+// NodePhasesNet records the node-space schedule for an existing product
+// network (heterogeneous networks included).
+func NodePhasesNet(net *product.Network, engine sort2d.Engine) ([][][2]int, error) {
+	m, err := simnet.New(net, make([]simnet.Key, net.Nodes()))
+	if err != nil {
+		return nil, err
+	}
+	rec := &simnet.RecorderExec{Inner: simnet.SequentialExec{}}
+	m.SetExecutor(rec)
+	core.New(engine).Sort(m)
+	return rec.Phases, nil
+}
+
+// ReplayOnMachine executes node-space phases on a machine: each phase
+// becomes one compare-exchange call, with the machine charging real
+// (possibly routed) costs. The phases' node ids must be valid for the
+// machine's network.
+func ReplayOnMachine(m *simnet.Machine, phases [][][2]int) {
+	for _, ph := range phases {
+		if len(ph) == 0 {
+			m.IdleRound()
+			continue
+		}
+		m.CompareExchange(ph)
+	}
+}
+
+// TorusEmulation sorts the machine's keys by the Corollary's device:
+// derive the sorting schedule for the torus with the same per-dimension
+// sizes (factors replaced by cycles), then replay it on the actual
+// machine. Every comparator pairs nodes whose labels differ by ±1 (mod
+// N) in one dimension, so on an arbitrary connected factor each
+// compare-exchange costs a short routed exchange — the embedding
+// slowdown the paper bounds by a constant. Returns the derived torus
+// schedule's network name for reporting.
+func TorusEmulation(m *simnet.Machine, engine sort2d.Engine) (string, error) {
+	factors := make([]*graph.Graph, m.Net().R())
+	for dim := 1; dim <= m.Net().R(); dim++ {
+		n := m.Net().Radix(dim)
+		if n < 3 {
+			// A 2-cycle degenerates to K2 = the path.
+			factors[dim-1] = graph.Path(n)
+			continue
+		}
+		factors[dim-1] = graph.Cycle(n)
+	}
+	torus, err := product.NewHetero(factors)
+	if err != nil {
+		return "", err
+	}
+	phases, err := NodePhasesNet(torus, engine)
+	if err != nil {
+		return "", err
+	}
+	ReplayOnMachine(m, phases)
+	return torus.Name(), nil
+}
+
+// MustExtract is Extract, panicking on error.
+func MustExtract(g *graph.Graph, r int, engine sort2d.Engine) *Schedule {
+	s, err := Extract(g, r, engine)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Depth returns the number of parallel phases.
+func (s *Schedule) Depth() int { return len(s.Phases) }
+
+// Size returns the total comparator count.
+func (s *Schedule) Size() int {
+	n := 0
+	for _, ph := range s.Phases {
+		n += len(ph)
+	}
+	return n
+}
+
+// Apply sorts keys in place by replaying the schedule. len(keys) must
+// equal Inputs.
+func (s *Schedule) Apply(keys []simnet.Key) {
+	if len(keys) != s.Inputs {
+		panic(fmt.Sprintf("mergenet: %d keys for %d-input schedule", len(keys), s.Inputs))
+	}
+	for _, ph := range s.Phases {
+		for _, pr := range ph {
+			if keys[pr[0]] > keys[pr[1]] {
+				keys[pr[0]], keys[pr[1]] = keys[pr[1]], keys[pr[0]]
+			}
+		}
+	}
+}
+
+// AsNetwork flattens the schedule into a baseline comparator network,
+// enabling direct size/depth comparison with Batcher's constructions.
+func (s *Schedule) AsNetwork() baseline.Network {
+	var comps []baseline.Comparator
+	for _, ph := range s.Phases {
+		for _, pr := range ph {
+			comps = append(comps, baseline.Comparator{I: pr[0], J: pr[1]})
+		}
+	}
+	return baseline.Network{N: s.Inputs, Comps: comps}
+}
+
+// scheduleJSON is the on-disk form of a Schedule.
+type scheduleJSON struct {
+	Network string     `json:"network"`
+	Inputs  int        `json:"inputs"`
+	Phases  [][][2]int `json:"phases"`
+}
+
+// MarshalJSON encodes the schedule for external consumers (the
+// cmd/schedule tool writes this format).
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scheduleJSON{Network: s.Network, Inputs: s.Inputs, Phases: s.Phases})
+}
+
+// UnmarshalJSON decodes a schedule and validates it.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var raw scheduleJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := Schedule{Network: raw.Network, Inputs: raw.Inputs, Phases: raw.Phases}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// Validate checks structural invariants: every phase's pairs are
+// node-disjoint, positions are in range, and no pair is degenerate.
+func (s *Schedule) Validate() error {
+	for i, ph := range s.Phases {
+		busy := make(map[int]bool, 2*len(ph))
+		for _, pr := range ph {
+			lo, hi := pr[0], pr[1]
+			if lo < 0 || lo >= s.Inputs || hi < 0 || hi >= s.Inputs {
+				return fmt.Errorf("mergenet: phase %d pair (%d,%d) out of range", i, lo, hi)
+			}
+			if lo == hi {
+				return fmt.Errorf("mergenet: phase %d degenerate pair at %d", i, lo)
+			}
+			if busy[lo] || busy[hi] {
+				return fmt.Errorf("mergenet: phase %d overlapping pairs at (%d,%d)", i, lo, hi)
+			}
+			busy[lo], busy[hi] = true, true
+		}
+	}
+	return nil
+}

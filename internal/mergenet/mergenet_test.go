@@ -1,0 +1,320 @@
+package mergenet
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"productsort/internal/baseline"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/sort2d"
+)
+
+func TestExtractValidates(t *testing.T) {
+	cases := []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.Path(3), 2}, {graph.Path(3), 3}, {graph.Path(4), 3},
+		{graph.K2(), 4}, {graph.K2(), 6}, {graph.Cycle(4), 2},
+		{graph.CompleteBinaryTree(3), 2}, {graph.Petersen(), 2},
+	}
+	for _, c := range cases {
+		s := MustExtract(c.g, c.r, nil)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Network, err)
+		}
+		if s.Inputs <= 0 || s.Depth() <= 0 || s.Size() <= 0 {
+			t.Fatalf("%s: degenerate schedule", s.Network)
+		}
+	}
+}
+
+// TestScheduleZeroOneExhaustive: a recorded schedule is a sorting
+// network — exhaust the zero-one principle on small sizes.
+func TestScheduleZeroOneExhaustive(t *testing.T) {
+	cases := []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.K2(), 2}, {graph.K2(), 3}, {graph.K2(), 4},
+		{graph.Path(3), 2}, {graph.Path(4), 2}, {graph.Path(3), 3} /* 27 keys: sampled below */}
+	for _, c := range cases {
+		s := MustExtract(c.g, c.r, nil)
+		if s.Inputs > 16 {
+			continue
+		}
+		for mask := 0; mask < 1<<s.Inputs; mask++ {
+			keys := make([]simnet.Key, s.Inputs)
+			for i := range keys {
+				keys[i] = simnet.Key(mask >> i & 1)
+			}
+			s.Apply(keys)
+			for i := 1; i < len(keys); i++ {
+				if keys[i] < keys[i-1] {
+					t.Fatalf("%s: schedule fails 0-1 input %b", s.Network, mask)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.Path(3), 3}, {graph.K2(), 6}, {graph.Petersen(), 2},
+		{graph.CompleteBinaryTree(3), 2},
+	} {
+		s := MustExtract(c.g, c.r, nil)
+		for trial := 0; trial < 25; trial++ {
+			keys := make([]simnet.Key, s.Inputs)
+			for i := range keys {
+				keys[i] = simnet.Key(rng.Intn(100))
+			}
+			want := baseline.SequentialSortedCopy(keys)
+			s.Apply(keys)
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("%s trial %d: wrong output at %d", s.Network, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDepthMatchesRounds: for Hamiltonian factors every phase is one
+// round, so schedule depth equals the Theorem 1 round count.
+func TestDepthMatchesRounds(t *testing.T) {
+	cases := []struct {
+		g      *graph.Graph
+		r      int
+		engine sort2d.Engine
+	}{
+		{graph.Path(3), 3, sort2d.Shearsort{}},
+		{graph.K2(), 5, sort2d.Opt4{}},
+	}
+	for _, c := range cases {
+		s := MustExtract(c.g, c.r, c.engine)
+		want := (c.r-1)*(c.r-1)*c.engine.Rounds(c.g.N()) + (c.r-1)*(c.r-2)
+		// The schedule omits idle rounds (no comparators), so depth can
+		// be at most `want`, and equals it when no phase was empty.
+		if s.Depth() > want {
+			t.Errorf("%s: depth %d exceeds Theorem 1 rounds %d", s.Network, s.Depth(), want)
+		}
+		if c.g.N() > 2 && s.Depth() != want {
+			t.Errorf("%s: depth %d want %d", s.Network, s.Depth(), want)
+		}
+	}
+}
+
+func TestAsNetworkEquivalent(t *testing.T) {
+	s := MustExtract(graph.Path(3), 2, nil)
+	nw := s.AsNetwork()
+	if nw.Size() != s.Size() || nw.N != s.Inputs {
+		t.Fatal("AsNetwork lost comparators")
+	}
+	if !nw.SortsAllZeroOne() {
+		t.Fatal("flattened network does not sort")
+	}
+	// Greedy re-leveling can only shrink depth relative to the recorded
+	// phase structure.
+	if nw.Depth() > s.Depth() {
+		t.Errorf("flattened depth %d > schedule depth %d", nw.Depth(), s.Depth())
+	}
+}
+
+func TestApplyPanicsOnWrongLength(t *testing.T) {
+	s := MustExtract(graph.K2(), 3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong length accepted")
+		}
+	}()
+	s.Apply(make([]simnet.Key, 7))
+}
+
+// TestObliviousness: two extractions give the identical schedule
+// (bitwise), and the schedule is independent of key values by
+// construction.
+func TestObliviousness(t *testing.T) {
+	a := MustExtract(graph.Path(4), 3, nil)
+	b := MustExtract(graph.Path(4), 3, nil)
+	if a.Depth() != b.Depth() || a.Size() != b.Size() {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range a.Phases {
+		if len(a.Phases[i]) != len(b.Phases[i]) {
+			t.Fatalf("phase %d differs", i)
+		}
+		for j := range a.Phases[i] {
+			if a.Phases[i][j] != b.Phases[i][j] {
+				t.Fatalf("pair %d.%d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestHypercubeScheduleVsBatcher compares sizes on the hypercube: the
+// generalized schedule is bigger by a constant factor, never
+// asymptotically.
+func TestHypercubeScheduleVsBatcher(t *testing.T) {
+	for _, r := range []int{3, 5, 7} {
+		s := MustExtract(graph.K2(), r, nil)
+		oem := baseline.OddEvenMergeNetwork(1 << r)
+		ratio := float64(s.Size()) / float64(oem.Size())
+		if ratio > 12 {
+			t.Errorf("r=%d: schedule size %d vs OEM %d (ratio %.1f too large)",
+				r, s.Size(), oem.Size(), ratio)
+		}
+	}
+}
+
+func TestTorusEmulationSorts(t *testing.T) {
+	// The Corollary's device: any connected factor sorts by replaying
+	// the same-size torus schedule with routed compare-exchanges.
+	cases := []struct {
+		g *graph.Graph
+		r int
+	}{
+		{graph.CompleteBinaryTree(3), 2}, // non-Hamiltonian
+		{graph.Star(5), 2},
+		{graph.Path(4), 2}, // Hamiltonian: wraparound pairs cost extra
+		{graph.Petersen(), 2},
+		{graph.CompleteBinaryTree(3), 3},
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range cases {
+		net := product.MustNew(c.g, c.r)
+		keys := make([]simnet.Key, net.Nodes())
+		for i := range keys {
+			keys[i] = simnet.Key(rng.Intn(300))
+		}
+		m := simnet.MustNew(net, keys)
+		name, err := TorusEmulation(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "" {
+			t.Error("no torus name returned")
+		}
+		if !m.IsSortedSnake() {
+			t.Fatalf("%s: torus emulation failed to sort", net.Name())
+		}
+	}
+}
+
+func TestTorusEmulationK2(t *testing.T) {
+	// N=2 factors degenerate to paths; emulation must still sort.
+	net := product.MustNew(graph.K2(), 4)
+	keys := make([]simnet.Key, 16)
+	for i := range keys {
+		keys[i] = simnet.Key(16 - i)
+	}
+	m := simnet.MustNew(net, keys)
+	if _, err := TorusEmulation(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsSortedSnake() {
+		t.Fatal("emulation on K2^4 failed")
+	}
+}
+
+func TestReplayOnMachineIdle(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 1)
+	m := simnet.MustNew(net, []simnet.Key{3, 1, 2})
+	ReplayOnMachine(m, [][][2]int{{}, {{0, 1}}})
+	clk := m.Clock()
+	if clk.Rounds != 2 {
+		t.Errorf("rounds=%d want 2 (idle + one phase)", clk.Rounds)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := MustExtract(graph.Path(3), 2, nil)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Network != s.Network || back.Inputs != s.Inputs || back.Depth() != s.Depth() || back.Size() != s.Size() {
+		t.Fatal("round trip lost data")
+	}
+	keys := make([]simnet.Key, s.Inputs)
+	for i := range keys {
+		keys[i] = simnet.Key(s.Inputs - i)
+	}
+	back.Apply(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("decoded schedule does not sort")
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var s Schedule
+	// Overlapping pairs in one phase must be rejected by validation.
+	bad := `{"network":"x","inputs":4,"phases":[[[0,1],[1,2]]]}`
+	if err := json.Unmarshal([]byte(bad), &s); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+	if err := json.Unmarshal([]byte(`{`), &s); err == nil {
+		t.Error("syntax error accepted")
+	}
+	outOfRange := `{"network":"x","inputs":2,"phases":[[[0,5]]]}`
+	if err := json.Unmarshal([]byte(outOfRange), &s); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}
+
+func BenchmarkExtractGrid3Cubed(b *testing.B) {
+	g := graph.Path(3)
+	for i := 0; i < b.N; i++ {
+		MustExtract(g, 3, nil)
+	}
+}
+
+func BenchmarkScheduleApply(b *testing.B) {
+	s := MustExtract(graph.Path(4), 3, nil)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]simnet.Key, s.Inputs)
+	for i := range keys {
+		keys[i] = simnet.Key(rng.Int63())
+	}
+	buf := make([]simnet.Key, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, keys)
+		s.Apply(buf)
+	}
+}
+
+func TestNodePhasesMatchesSchedule(t *testing.T) {
+	phases, net, err := NodePhases(graph.Path(3), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustExtract(graph.Path(3), 2, nil)
+	if len(phases) != s.Depth() {
+		t.Fatalf("node phases %d vs schedule depth %d", len(phases), s.Depth())
+	}
+	// Converting node ids to snake positions must reproduce the snake
+	// schedule exactly.
+	for i, ph := range phases {
+		for j, pr := range ph {
+			want := s.Phases[i][j]
+			got := [2]int{net.SnakePos(pr[0]), net.SnakePos(pr[1])}
+			if got != want {
+				t.Fatalf("phase %d pair %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}

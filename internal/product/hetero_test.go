@@ -1,0 +1,182 @@
+package product
+
+import (
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/gray"
+)
+
+func TestNewHeteroValidation(t *testing.T) {
+	if _, err := NewHetero(nil); err == nil {
+		t.Error("empty factor list accepted")
+	}
+	if _, err := NewHetero([]*graph.Graph{graph.Path(3), nil}); err == nil {
+		t.Error("nil factor accepted")
+	}
+	p, err := NewHetero([]*graph.Graph{graph.Path(4), graph.Cycle(3), graph.K2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes() != 24 || p.R() != 3 {
+		t.Fatalf("sizes wrong: %d nodes, r=%d", p.Nodes(), p.R())
+	}
+	if p.Homogeneous() {
+		t.Error("mixed factors reported homogeneous")
+	}
+	if !MustNew(graph.Path(3), 3).Homogeneous() {
+		t.Error("homogeneous network misreported")
+	}
+}
+
+func TestHeteroRadices(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(4), graph.Cycle(3), graph.K2()})
+	if p.Radix(1) != 4 || p.Radix(2) != 3 || p.Radix(3) != 2 {
+		t.Fatal("radices wrong")
+	}
+	rs := p.Radices()
+	if len(rs) != 3 || rs[0] != 4 || rs[1] != 3 || rs[2] != 2 {
+		t.Fatalf("Radices()=%v", rs)
+	}
+	rs[0] = 99
+	if p.Radix(1) != 4 {
+		t.Error("Radices aliases internal state")
+	}
+	if p.Stride(1) != 1 || p.Stride(2) != 4 || p.Stride(3) != 12 {
+		t.Error("strides wrong")
+	}
+	if p.N() != 4 {
+		t.Error("N() should report dimension-1 radix")
+	}
+	if p.FactorAt(2).Name() != "cycle3" {
+		t.Error("FactorAt wrong")
+	}
+}
+
+func TestHeteroName(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(4), graph.Cycle(3)})
+	if p.Name() != "cycle3*path4" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestHeteroLabelRoundTrip(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(3), graph.Path(5), graph.Path(2)})
+	buf := make([]int, 3)
+	for id := 0; id < p.Nodes(); id++ {
+		if got := p.ID(p.Label(id, buf)); got != id {
+			t.Fatalf("round trip broke at %d", id)
+		}
+		if p.Digit(id, 1) != buf[0] || p.Digit(id, 2) != buf[1] || p.Digit(id, 3) != buf[2] {
+			t.Fatalf("digits disagree with label at %d", id)
+		}
+	}
+}
+
+// TestHeteroAdjacencyRectGrid: a 4×3 grid's adjacency is the usual
+// Manhattan neighborhood.
+func TestHeteroAdjacencyRectGrid(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(4), graph.Path(3)})
+	for a := 0; a < 12; a++ {
+		ax, ay := a%4, a/4
+		for b := 0; b < 12; b++ {
+			bx, by := b%4, b/4
+			dx, dy := abs(ax-bx), abs(ay-by)
+			want := dx+dy == 1
+			if got := p.Adjacent(a, b); got != want {
+				t.Fatalf("Adjacent(%d,%d)=%v want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHeteroNeighborsDegreesEdges(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Cycle(4), graph.Path(3), graph.K2()})
+	total := 0
+	for id := 0; id < p.Nodes(); id++ {
+		nbs := p.Neighbors(id)
+		if len(nbs) != p.Degree(id) {
+			t.Fatalf("degree mismatch at %d", id)
+		}
+		for _, nb := range nbs {
+			if !p.Adjacent(id, nb) {
+				t.Fatalf("neighbor %d of %d not adjacent", nb, id)
+			}
+		}
+		total += len(nbs)
+	}
+	if total/2 != p.EdgeCount() {
+		t.Fatalf("edge count %d vs handshake %d", p.EdgeCount(), total/2)
+	}
+	// Diameter: cycle4 (2) + path3 (2) + K2 (1) = 5.
+	if p.Diameter() != 5 {
+		t.Errorf("diameter=%d want 5", p.Diameter())
+	}
+}
+
+func TestHeteroSnakeRoundTrip(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(2), graph.Path(4), graph.Path(3)})
+	seen := make([]bool, p.Nodes())
+	for pos := 0; pos < p.Nodes(); pos++ {
+		id := p.NodeAtSnake(pos)
+		if seen[id] {
+			t.Fatalf("snake repeats node %d", id)
+		}
+		seen[id] = true
+		if p.SnakePos(id) != pos {
+			t.Fatalf("snake round trip broke at pos %d", pos)
+		}
+	}
+	// Consecutive snake nodes adjacent (all factors Hamiltonian-labeled).
+	for pos := 0; pos+1 < p.Nodes(); pos++ {
+		if !p.Adjacent(p.NodeAtSnake(pos), p.NodeAtSnake(pos+1)) {
+			t.Fatalf("snake break at %d", pos)
+		}
+	}
+}
+
+func TestHeteroBlockAddressing(t *testing.T) {
+	p := MustNewHetero([]*graph.Graph{graph.Path(2), graph.Path(4), graph.Path(3)})
+	dims := []int{1, 2} // block size 2*4 = 8
+	if p.BlockSize(dims) != 8 {
+		t.Fatalf("block size %d", p.BlockSize(dims))
+	}
+	bases := p.BlockBases(dims)
+	if len(bases) != 3 {
+		t.Fatalf("%d bases", len(bases))
+	}
+	seen := make(map[int]bool)
+	for _, base := range bases {
+		for pos := 0; pos < 8; pos++ {
+			id := p.NodeInBlock(base, dims, pos)
+			if seen[id] {
+				t.Fatalf("node %d in two blocks", id)
+			}
+			seen[id] = true
+			if p.BlockSnakePos(id, dims) != pos {
+				t.Fatalf("block snake round trip broke")
+			}
+		}
+	}
+	if len(seen) != p.Nodes() {
+		t.Fatalf("blocks cover %d nodes", len(seen))
+	}
+	// Block snake positions agree with the mixed Gray code of the
+	// block's radices.
+	base := bases[0]
+	label := make([]int, 2)
+	for pos := 0; pos < 8; pos++ {
+		id := p.NodeInBlock(base, dims, pos)
+		label[0], label[1] = p.Digit(id, 1), p.Digit(id, 2)
+		if gray.SnakeRankMixed(label, []int{2, 4}) != pos {
+			t.Fatalf("block snake disagrees with mixed gray at %d", pos)
+		}
+	}
+}

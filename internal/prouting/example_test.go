@@ -1,0 +1,26 @@
+package prouting_test
+
+import (
+	"fmt"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/prouting"
+)
+
+// Routing a permutation prices explicit data movement in the same round
+// unit the sorting algorithm uses.
+func ExampleRouter_Route() {
+	net := product.MustNew(graph.Path(4), 2) // 4×4 grid
+	r := prouting.New(net)
+	perm := make([]int, 16)
+	for i := range perm {
+		perm[i] = 15 - i // corner-to-corner reversal
+	}
+	st := r.Route(perm)
+	fmt.Println("rounds ≥ diameter:", st.Rounds >= net.Diameter())
+	fmt.Println("total hops:", st.TotalHops)
+	// Output:
+	// rounds ≥ diameter: true
+	// total hops: 64
+}

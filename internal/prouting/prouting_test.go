@@ -1,0 +1,215 @@
+package prouting
+
+import (
+	"math/rand"
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+)
+
+func TestIdentityFree(t *testing.T) {
+	r := New(product.MustNew(graph.Path(3), 2))
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	st := r.Route(perm)
+	if st.Rounds != 0 || st.TotalHops != 0 {
+		t.Errorf("identity cost %+v", st)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := New(product.MustNew(graph.Path(3), 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-permutation accepted")
+		}
+	}()
+	r.Route([]int{0, 0, 1})
+}
+
+func TestDistMatchesNetwork(t *testing.T) {
+	nets := []*product.Network{
+		product.MustNew(graph.Path(4), 2),
+		product.MustNew(graph.Petersen(), 2),
+		product.MustNewHetero([]*graph.Graph{graph.Path(3), graph.Cycle(4)}),
+	}
+	for _, net := range nets {
+		r := New(net)
+		for a := 0; a < net.Nodes(); a += 3 {
+			for b := 0; b < net.Nodes(); b += 5 {
+				if r.Dist(a, b) != net.Dist(a, b) {
+					t.Fatalf("%s: Dist(%d,%d) disagreement", net.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSwapCost(t *testing.T) {
+	// Two adjacent nodes swapping: 1 round (full duplex).
+	net := product.MustNew(graph.Path(4), 2)
+	r := New(net)
+	perm := make([]int, 16)
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[0], perm[1] = 1, 0
+	st := r.Route(perm)
+	if st.Rounds != 1 || st.TotalHops != 2 {
+		t.Errorf("adjacent swap: %+v", st)
+	}
+}
+
+func TestRandomPermutationsDeliver(t *testing.T) {
+	nets := []*product.Network{
+		product.MustNew(graph.Path(4), 2),
+		product.MustNew(graph.K2(), 5),
+		product.MustNew(graph.Petersen(), 2),
+		product.MustNew(graph.CompleteBinaryTree(3), 2),
+		product.MustNewHetero([]*graph.Graph{graph.Path(4), graph.Path(3), graph.Path(2)}),
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, net := range nets {
+		r := New(net)
+		for trial := 0; trial < 8; trial++ {
+			st := r.Route(rng.Perm(net.Nodes()))
+			if st.Rounds < net.Diameter()/2 && st.Rounds > 0 {
+				// fine: random permutations need not span the diameter
+				_ = st
+			}
+			if st.Rounds > 6*net.Nodes() {
+				t.Errorf("%s: permutation took %d rounds (nodes=%d)", net.Name(), st.Rounds, net.Nodes())
+			}
+		}
+	}
+}
+
+func TestAntipodalLowerBound(t *testing.T) {
+	// The digit-complement permutation moves corner packets across the
+	// full diameter on path/K2 factors.
+	for _, net := range []*product.Network{
+		product.MustNew(graph.Path(4), 2),
+		product.MustNew(graph.Path(4), 3),
+		product.MustNew(graph.K2(), 6),
+	} {
+		r := New(net)
+		st := r.Antipodal()
+		if st.Rounds < net.Diameter() {
+			t.Errorf("%s: antipodal %d rounds < diameter %d", net.Name(), st.Rounds, net.Diameter())
+		}
+		if st.MaxQueue < 1 {
+			t.Errorf("%s: max queue %d", net.Name(), st.MaxQueue)
+		}
+	}
+}
+
+// TestSnakeReversalIsOneDimensional documents the reflected-Gray fact:
+// for EVEN radices the snake reversal pairs nodes that differ only in
+// the top dimension (R(Q_r) = Q_r with the top symbol complemented), so
+// it routes in very few rounds. Odd radices break the property — see
+// TestSnakeReversalOddRadixSpreads.
+func TestSnakeReversalIsOneDimensional(t *testing.T) {
+	for _, net := range []*product.Network{
+		product.MustNew(graph.Path(4), 2),
+		product.MustNew(graph.K2(), 6),
+		product.MustNew(graph.Path(6), 2),
+	} {
+		n := net.Nodes()
+		for pos := 0; pos < n; pos++ {
+			a, b := net.NodeAtSnake(pos), net.NodeAtSnake(n-1-pos)
+			diffs := 0
+			for dim := 1; dim <= net.R(); dim++ {
+				if net.Digit(a, dim) != net.Digit(b, dim) {
+					diffs++
+				}
+			}
+			if diffs > 1 {
+				t.Fatalf("%s: snake reversal pairs differ in %d dims at pos %d", net.Name(), diffs, pos)
+			}
+		}
+		r := New(net)
+		st := r.SnakeReversal()
+		if st.Rounds > 2*net.N() {
+			t.Errorf("%s: snake reversal took %d rounds, expected ≤ 2x factor size", net.Name(), st.Rounds)
+		}
+	}
+}
+
+// TestHypercubeDimensionOrderedTranspose: the bit-reversal permutation
+// is the classic bad case for dimension-ordered routing on the
+// hypercube — expect rounds well above the diameter but bounded.
+// TestSnakeReversalOddRadixSpreads: with an odd radix the reversed
+// sequence is NOT a single-symbol complement (slab u and slab N-1-u have
+// the same parity, so the reflection recurses), and corner pairs differ
+// in every dimension.
+func TestSnakeReversalOddRadixSpreads(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 3)
+	a, b := net.NodeAtSnake(0), net.NodeAtSnake(net.Nodes()-1)
+	diffs := 0
+	for dim := 1; dim <= 3; dim++ {
+		if net.Digit(a, dim) != net.Digit(b, dim) {
+			diffs++
+		}
+	}
+	if diffs != 3 {
+		t.Errorf("odd-radix endpoints differ in %d dims, want 3", diffs)
+	}
+	st := New(net).SnakeReversal()
+	if st.Rounds <= 3 {
+		t.Errorf("odd-radix snake reversal suspiciously cheap: %+v", st)
+	}
+}
+
+func TestHypercubeBitReversal(t *testing.T) {
+	net := product.MustNew(graph.K2(), 6)
+	r := New(net)
+	perm := make([]int, 64)
+	for v := range perm {
+		rev := 0
+		for b := 0; b < 6; b++ {
+			if v&(1<<b) != 0 {
+				rev |= 1 << (5 - b)
+			}
+		}
+		perm[v] = rev
+	}
+	st := r.Route(perm)
+	if st.Rounds < 6 {
+		t.Errorf("bit reversal took %d rounds, below diameter", st.Rounds)
+	}
+	if st.Rounds > 64 {
+		t.Errorf("bit reversal took %d rounds, suspiciously congested", st.Rounds)
+	}
+	t.Logf("bit reversal on Q6: %+v", st)
+}
+
+func TestTotalHopsEqualSumOfDistances(t *testing.T) {
+	// Dimension-ordered paths are shortest paths, so total hops must
+	// equal the sum of distances.
+	net := product.MustNew(graph.Path(3), 3)
+	r := New(net)
+	rng := rand.New(rand.NewSource(5))
+	perm := rng.Perm(27)
+	want := 0
+	for v, d := range perm {
+		want += net.Dist(v, d)
+	}
+	st := r.Route(perm)
+	if st.TotalHops != want {
+		t.Errorf("total hops %d want %d", st.TotalHops, want)
+	}
+}
+
+func BenchmarkRouteRandomGrid64(b *testing.B) {
+	net := product.MustNew(graph.Path(8), 2)
+	r := New(net)
+	rng := rand.New(rand.NewSource(1))
+	perms := make([][]int, 16)
+	for i := range perms {
+		perms[i] = rng.Perm(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Route(perms[i%len(perms)])
+	}
+}

@@ -1,0 +1,203 @@
+// Package routing simulates store-and-forward permutation routing on a
+// factor graph G. It supplies the quantity R(N) of the paper: the number
+// of parallel communication rounds needed to realize a permutation of
+// one-packet-per-node traffic.
+//
+// The model is the standard single-port, full-duplex, synchronous one:
+// in each round every node may send at most one packet to one neighbor
+// and receive at most one packet from one neighbor. Packets follow fixed
+// shortest paths chosen by BFS; contention is resolved farthest-
+// remaining-distance first, which guarantees progress every round.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"productsort/internal/graph"
+)
+
+// Plan precomputes shortest-path forwarding tables for a factor graph so
+// that repeated routing simulations on the same graph are cheap.
+type Plan struct {
+	g    *graph.Graph
+	next [][]int // next[src][dst] = first hop from src toward dst
+	dist [][]int // dist[src][dst]
+}
+
+// NewPlan builds forwarding tables for g by one BFS per node.
+func NewPlan(g *graph.Graph) *Plan {
+	n := g.N()
+	p := &Plan{g: g, next: make([][]int, n), dist: make([][]int, n)}
+	for dst := 0; dst < n; dst++ {
+		// BFS from dst; next hop from v toward dst is v's parent in the tree.
+		distTo := g.BFS(dst)
+		for src := 0; src < n; src++ {
+			if p.next[src] == nil {
+				p.next[src] = make([]int, n)
+				p.dist[src] = make([]int, n)
+			}
+			p.dist[src][dst] = distTo[src]
+			if src == dst {
+				p.next[src][dst] = src
+				continue
+			}
+			for _, nb := range g.Neighbors(src) {
+				if distTo[nb] == distTo[src]-1 {
+					p.next[src][dst] = nb
+					break
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Graph returns the factor graph the plan was built for.
+func (p *Plan) Graph() *graph.Graph { return p.g }
+
+// Dist returns the shortest-path distance from src to dst.
+func (p *Plan) Dist(src, dst int) int { return p.dist[src][dst] }
+
+// NextHop returns the first hop from src toward dst (src itself when
+// src == dst). The hop is always a neighbor of src.
+func (p *Plan) NextHop(src, dst int) int { return p.next[src][dst] }
+
+// Rounds simulates routing the permutation perm (node v's packet is
+// destined for perm[v]) and returns the number of rounds used. Packets
+// already at their destination cost nothing. perm must be a permutation
+// of 0..N-1.
+func (p *Plan) Rounds(perm []int) int {
+	n := p.g.N()
+	if len(perm) != n {
+		panic(fmt.Sprintf("routing: permutation length %d, want %d", len(perm), n))
+	}
+	check := make([]bool, n)
+	for _, d := range perm {
+		if d < 0 || d >= n || check[d] {
+			panic("routing: not a permutation")
+		}
+		check[d] = true
+	}
+
+	type packet struct {
+		at, dst int
+	}
+	var live []packet
+	for v, d := range perm {
+		if v != d {
+			live = append(live, packet{at: v, dst: d})
+		}
+	}
+	rounds := 0
+	maxRounds := 0
+	for _, pk := range live {
+		maxRounds += p.dist[pk.at][pk.dst]
+	}
+	for len(live) > 0 {
+		rounds++
+		if rounds > maxRounds+1 {
+			panic("routing: no progress (scheduler bug)")
+		}
+		// Candidate moves, farthest-remaining first.
+		idx := make([]int, len(live))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := live[idx[a]], live[idx[b]]
+			da, db := p.dist[pa.at][pa.dst], p.dist[pb.at][pb.dst]
+			if da != db {
+				return da > db
+			}
+			return idx[a] < idx[b]
+		})
+		sendBusy := make([]bool, n)
+		recvBusy := make([]bool, n)
+		var next []packet
+		moved := make([]bool, len(live))
+		for _, i := range idx {
+			pk := live[i]
+			hop := p.next[pk.at][pk.dst]
+			if sendBusy[pk.at] || recvBusy[hop] {
+				continue
+			}
+			sendBusy[pk.at] = true
+			recvBusy[hop] = true
+			moved[i] = true
+			if hop != pk.dst {
+				next = append(next, packet{at: hop, dst: pk.dst})
+			}
+		}
+		for i, pk := range live {
+			if !moved[i] {
+				next = append(next, pk)
+			}
+		}
+		live = next
+	}
+	return rounds
+}
+
+// ExchangeRounds returns the rounds needed for the disjoint node pairs to
+// swap their keys: the cost of one routed compare-exchange step on G.
+// Pairs of adjacent nodes cost one round. Nodes absent from pairs stay
+// idle.
+func (p *Plan) ExchangeRounds(pairs [][2]int) int {
+	perm := Involution(p.g.N(), pairs)
+	return p.Rounds(perm)
+}
+
+// Involution returns the permutation that swaps each pair and fixes every
+// other node. It panics if pairs are not disjoint.
+func Involution(n int, pairs [][2]int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a == b {
+			panic("routing: degenerate pair")
+		}
+		if perm[a] != a || perm[b] != b {
+			panic("routing: overlapping pairs")
+		}
+		perm[a], perm[b] = b, a
+	}
+	return perm
+}
+
+// AdjacentSwapCost returns the number of rounds for the worst
+// compare-exchange sweep between label-consecutive nodes on G: pairs
+// (0,1),(2,3),… and pairs (1,2),(3,4),…, whichever costs more. For a
+// Hamiltonian-labeled graph this is 1; otherwise it measures the routed
+// fallback the paper describes for non-Hamiltonian factors.
+func (p *Plan) AdjacentSwapCost() int {
+	n := p.g.N()
+	worst := 0
+	for phase := 0; phase < 2; phase++ {
+		var pairs [][2]int
+		for a := phase; a+1 < n; a += 2 {
+			pairs = append(pairs, [2]int{a, a + 1})
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		if c := p.ExchangeRounds(pairs); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// ReversalRounds returns the rounds to route the full reversal
+// permutation v -> N-1-v, a classic hard permutation used to probe R(N).
+func (p *Plan) ReversalRounds() int {
+	n := p.g.N()
+	perm := make([]int, n)
+	for v := range perm {
+		perm[v] = n - 1 - v
+	}
+	return p.Rounds(perm)
+}

@@ -1,0 +1,227 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"productsort/internal/graph"
+)
+
+func TestPlanDistances(t *testing.T) {
+	g := graph.Cycle(8)
+	p := NewPlan(g)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			if p.Dist(u, v) != g.Dist(u, v) {
+				t.Fatalf("Dist(%d,%d)=%d want %d", u, v, p.Dist(u, v), g.Dist(u, v))
+			}
+		}
+	}
+}
+
+func TestNextHopMakesProgress(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(7), graph.Petersen(), graph.CompleteBinaryTree(3)} {
+		p := NewPlan(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if u == v {
+					continue
+				}
+				hop := p.next[u][v]
+				if !g.HasEdge(u, hop) {
+					t.Fatalf("%s: next[%d][%d]=%d is not a neighbor", g.Name(), u, v, hop)
+				}
+				if p.Dist(hop, v) != p.Dist(u, v)-1 {
+					t.Fatalf("%s: next hop from %d toward %d does not reduce distance", g.Name(), u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestIdentityPermutationFree(t *testing.T) {
+	p := NewPlan(graph.Path(9))
+	perm := make([]int, 9)
+	for i := range perm {
+		perm[i] = i
+	}
+	if r := p.Rounds(perm); r != 0 {
+		t.Errorf("identity took %d rounds", r)
+	}
+}
+
+func TestRoundsValidation(t *testing.T) {
+	p := NewPlan(graph.Path(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-permutation accepted")
+		}
+	}()
+	p.Rounds([]int{0, 0, 1, 2})
+}
+
+func TestAdjacentSwapOnPath(t *testing.T) {
+	p := NewPlan(graph.Path(8))
+	if c := p.AdjacentSwapCost(); c != 1 {
+		t.Errorf("path adjacent swap cost=%d want 1", c)
+	}
+}
+
+func TestAdjacentSwapOnTree(t *testing.T) {
+	// In-order labeled complete binary tree: consecutive labels can be
+	// two or more hops apart, so a swap sweep needs several rounds.
+	p := NewPlan(graph.CompleteBinaryTree(3))
+	c := p.AdjacentSwapCost()
+	if c < 2 {
+		t.Errorf("tree adjacent swap cost=%d want ≥2", c)
+	}
+	if c > 7 { // crude upper sanity bound: N rounds
+		t.Errorf("tree adjacent swap cost=%d suspiciously high", c)
+	}
+}
+
+func TestReversalOnPath(t *testing.T) {
+	// Reversing an n-node path takes at least n-1 rounds (end-to-end
+	// packet) and our scheduler should stay within a small constant of
+	// the optimal ~n rounds.
+	for _, n := range []int{4, 8, 16} {
+		p := NewPlan(graph.Path(n))
+		r := p.ReversalRounds()
+		if r < n-1 {
+			t.Errorf("path%d reversal %d rounds < diameter", n, r)
+		}
+		if r > 3*n {
+			t.Errorf("path%d reversal %d rounds too slow", n, r)
+		}
+	}
+}
+
+func TestReversalOnCycleNearHalfN(t *testing.T) {
+	// On a cycle the reversal is routable in about N/2 rounds since
+	// every packet travels at most ⌈N/2⌉ hops.
+	p := NewPlan(graph.Cycle(12))
+	r := p.ReversalRounds()
+	if r < 5 || r > 18 {
+		t.Errorf("cycle12 reversal took %d rounds, want around 6", r)
+	}
+}
+
+func TestCompleteGraphOneRound(t *testing.T) {
+	p := NewPlan(graph.Complete(6))
+	// Any permutation on K_n routes in one round: every packet is one
+	// hop away, and sends/receives are all distinct.
+	perm := []int{3, 4, 5, 0, 1, 2}
+	if r := p.Rounds(perm); r != 1 {
+		t.Errorf("K6 permutation took %d rounds want 1", r)
+	}
+}
+
+func TestInvolution(t *testing.T) {
+	perm := Involution(5, [][2]int{{0, 4}, {1, 3}})
+	want := []int{4, 3, 2, 1, 0}
+	for i, w := range want {
+		if perm[i] != w {
+			t.Fatalf("perm=%v want %v", perm, want)
+		}
+	}
+}
+
+func TestInvolutionOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap accepted")
+		}
+	}()
+	Involution(4, [][2]int{{0, 1}, {1, 2}})
+}
+
+func TestInvolutionDegeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate pair accepted")
+		}
+	}()
+	Involution(4, [][2]int{{2, 2}})
+}
+
+// TestRandomPermutationsDeliver fuzzes the scheduler: every random
+// permutation must complete within the sum-of-distances safety cap and
+// within a loose bound of N * diameter rounds.
+func TestRandomPermutationsDeliver(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(9), graph.Cycle(10), graph.Star(8),
+		graph.CompleteBinaryTree(4), graph.Petersen(), graph.DeBruijn(2, 3),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range graphs {
+		p := NewPlan(g)
+		for trial := 0; trial < 25; trial++ {
+			perm := rng.Perm(g.N())
+			r := p.Rounds(perm)
+			if r > g.N()*g.Diameter()+1 {
+				t.Errorf("%s: permutation took %d rounds (N=%d, diam=%d)",
+					g.Name(), r, g.N(), g.Diameter())
+			}
+		}
+	}
+}
+
+// TestStarRoutingSerializesThroughHub: on a star, packets between leaves
+// must cross the hub, and the hub can receive only one packet per round,
+// so a full derangement of k leaves needs at least k rounds.
+func TestStarRoutingSerializesThroughHub(t *testing.T) {
+	g := graph.Star(6) // hub 0, leaves 1..5
+	p := NewPlan(g)
+	perm := []int{0, 2, 3, 4, 5, 1} // 5-cycle on the leaves
+	r := p.Rounds(perm)
+	if r < 5 {
+		t.Errorf("star leaf cycle took %d rounds, expected ≥5 (hub is a bottleneck)", r)
+	}
+}
+
+func TestExchangeRoundsAdjacentPairs(t *testing.T) {
+	p := NewPlan(graph.Cycle(6))
+	if r := p.ExchangeRounds([][2]int{{0, 1}, {2, 3}, {4, 5}}); r != 1 {
+		t.Errorf("adjacent exchange took %d rounds want 1", r)
+	}
+}
+
+func BenchmarkRoundsRandomPetersen(b *testing.B) {
+	p := NewPlan(graph.Petersen())
+	rng := rand.New(rand.NewSource(7))
+	perms := make([][]int, 64)
+	for i := range perms {
+		perms[i] = rng.Perm(10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rounds(perms[i%len(perms)])
+	}
+}
+
+func BenchmarkNewPlanDeBruijn(b *testing.B) {
+	g := graph.DeBruijn(2, 4)
+	for i := 0; i < b.N; i++ {
+		NewPlan(g)
+	}
+}
+
+// TestRandomGraphRouting fuzzes the factor router over random connected
+// graphs built by the graph package's generators.
+func TestRandomGraphRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.RandomConnected(5+int(seed)%12, int(seed)%5, seed)
+		p := NewPlan(g)
+		for trial := 0; trial < 10; trial++ {
+			perm := rng.Perm(g.N())
+			r := p.Rounds(perm)
+			if r > g.N()*g.Diameter()+1 {
+				t.Errorf("%s: permutation took %d rounds", g.Name(), r)
+			}
+		}
+		if c := p.AdjacentSwapCost(); c < 1 || c > g.N() {
+			t.Errorf("%s: adjacent swap cost %d out of range", g.Name(), c)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package seqmerge implements Section 3 of the paper literally, as a
+// sequence algorithm: "it does not even matter whether the algorithm is
+// performed sequentially or in parallel". Multiway-merge combines N
+// sorted sequences of m = N^(k-1) keys each through Steps 1–4 operating
+// on plain slices; Sort applies the Section 3.3 driver.
+//
+// This is the reference model for the network implementation (package
+// core): both must produce identical sequences, and because it runs in
+// ordinary O(n log n)-ish time without simulating processors, it
+// validates Lemma 1 and the merge at sizes far beyond what the machine
+// simulator covers (tests go to N=16, r=3 → 4096 keys and beyond).
+package seqmerge
+
+import (
+	"fmt"
+	"sort"
+
+	"productsort/internal/simnet"
+)
+
+// Key aliases the project key type.
+type Key = simnet.Key
+
+// Merge combines N sorted sequences of m = N^(k-1) keys each (k ≥ 2)
+// into one sorted sequence of N^k keys, using the paper's multiway
+// merge. Each element of seqs must be sorted nondecreasing and all must
+// have equal power-of-N length.
+func Merge(seqs [][]Key) ([]Key, error) {
+	return merge(seqs, false)
+}
+
+// MergeSkipClean runs Steps 1–3 only, returning the "almost sorted"
+// interleaved sequence whose dirty window Lemma 1 bounds by N².
+func MergeSkipClean(seqs [][]Key) ([]Key, error) {
+	return merge(seqs, true)
+}
+
+func merge(seqs [][]Key, skipClean bool) ([]Key, error) {
+	n := len(seqs)
+	if n < 2 {
+		return nil, fmt.Errorf("seqmerge: need at least 2 sequences, got %d", n)
+	}
+	m := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != m {
+			return nil, fmt.Errorf("seqmerge: sequence %d has %d keys, want %d", i, len(s), m)
+		}
+		if !isSorted(s) {
+			return nil, fmt.Errorf("seqmerge: sequence %d is not sorted", i)
+		}
+	}
+	if m%n != 0 && m != 1 {
+		return nil, fmt.Errorf("seqmerge: length %d is not a multiple of N=%d", m, n)
+	}
+	if m == 1 {
+		// N sequences of one key: plain sort of N keys ends the
+		// recursion (the m = N^1 case below needs m ≥ N).
+		out := flatten(seqs)
+		sortKeys(out)
+		return out, nil
+	}
+
+	// Step 1: distribute each A_u into N subsequences B_{u,v}: the keys
+	// of A_u at positions v, 2N-v-1, 2N+v, 4N-v-1, … (column v of the
+	// m/N × N snake array of Fig. 7).
+	b := make([][][]Key, n) // b[u][v]
+	for u, a := range seqs {
+		b[u] = distribute(a, n)
+	}
+
+	// Step 2: merge column v (the B_{u,v} over all u) into C_v — by
+	// recursion when columns still hold at least N² keys, by direct
+	// sorting when they hold exactly N² (Section 3.2).
+	c := make([][]Key, n)
+	for v := 0; v < n; v++ {
+		col := make([][]Key, n)
+		for u := 0; u < n; u++ {
+			col[u] = b[u][v]
+		}
+		if m == n { // columns hold N·(m/N)=m=N keys each → N² total? No:
+			// each B_{u,v} has m/N = 1 key; the column holds N keys.
+			out := flatten(col)
+			sortKeys(out)
+			c[v] = out
+			continue
+		}
+		if m == n*n {
+			// Columns hold N·N = N² keys: sort directly.
+			out := flatten(col)
+			sortKeys(out)
+			c[v] = out
+			continue
+		}
+		sub, err := merge(col, false)
+		if err != nil {
+			return nil, err
+		}
+		c[v] = sub
+	}
+
+	// Step 3: interleave — D's row j is (c[0][j], c[1][j], …, c[N-1][j]).
+	d := make([]Key, 0, n*m)
+	for j := 0; j < m; j++ {
+		for v := 0; v < n; v++ {
+			d = append(d, c[v][j])
+		}
+	}
+	if skipClean {
+		return d, nil
+	}
+
+	// Step 4: clean the dirty area. Split D into m/N chunks E_z of N²
+	// consecutive keys; sort in alternating directions; two steps of
+	// odd-even transposition between adjacent chunks; sort again;
+	// concatenate in snake order (ascending again).
+	chunk := n * n
+	chunks := len(d) / chunk
+	sortAlternating(d, chunk)
+	for phase := 0; phase < 2; phase++ {
+		for z := phase; z+1 < chunks; z += 2 {
+			lo := d[z*chunk : (z+1)*chunk]
+			hi := d[(z+1)*chunk : (z+2)*chunk]
+			// Element-by-element compare (f_{z,t} vs f_{z+1,t}): with
+			// alternating sort directions this is the bitonic cleaning
+			// step; min stays in the earlier chunk.
+			for t := 0; t < chunk; t++ {
+				if lo[t] > hi[t] {
+					lo[t], hi[t] = hi[t], lo[t]
+				}
+			}
+		}
+	}
+	sortAscendingChunks(d, chunk)
+	return d, nil
+}
+
+// distribute implements Step 1 for one sequence: column v of the
+// m/N × N snake-order array.
+func distribute(a []Key, n int) [][]Key {
+	m := len(a)
+	rows := m / n
+	out := make([][]Key, n)
+	for v := 0; v < n; v++ {
+		col := make([]Key, 0, rows)
+		for j := 0; j < rows; j++ {
+			idx := j * n
+			if j%2 == 0 {
+				idx += v
+			} else {
+				idx += n - 1 - v
+			}
+			col = append(col, a[idx])
+		}
+		out[v] = col
+	}
+	return out
+}
+
+// sortAlternating sorts chunk z ascending when z is even, descending
+// when odd (the F_z of Step 4).
+func sortAlternating(d []Key, chunk int) {
+	for z := 0; z*chunk < len(d); z++ {
+		part := d[z*chunk : (z+1)*chunk]
+		if z%2 == 0 {
+			sortKeys(part)
+		} else {
+			sort.Slice(part, func(i, j int) bool { return part[i] > part[j] })
+		}
+	}
+}
+
+// sortAscendingChunks sorts every chunk ascending: because each chunk
+// holds a contiguous range of ranks after the transpositions, ascending
+// concatenation is the sorted sequence (the sequence-world's "snake
+// concatenation" where alternating directions cancel against the
+// alternating read order of the network view).
+func sortAscendingChunks(d []Key, chunk int) {
+	for z := 0; z*chunk < len(d); z++ {
+		sortKeys(d[z*chunk : (z+1)*chunk])
+	}
+}
+
+// MergeHetero combines nk sorted sequences (nk = len(seqs)) of equal
+// length into one sorted sequence using the heterogeneous multiway
+// merge: Step 1 distributes each sequence into n1 subsequences, and
+// Step 4 cleans with chunks of n1·n2 keys. This is the sequence-level
+// mirror of the network extension (package core): the generalized
+// Lemma 1 bounds the dirty window by n1·nk, so correctness requires
+// nk ≤ n2. Columns are merged by direct sorting (no recursion), which
+// keeps this a one-level reference model.
+func MergeHetero(seqs [][]Key, n1, n2 int) ([]Key, error) {
+	nk := len(seqs)
+	if nk < 2 {
+		return nil, fmt.Errorf("seqmerge: need at least 2 sequences, got %d", nk)
+	}
+	if n1 < 2 || n2 < 2 {
+		return nil, fmt.Errorf("seqmerge: need n1, n2 ≥ 2")
+	}
+	if nk > n2 {
+		return nil, fmt.Errorf("seqmerge: heterogeneous merge requires nk ≤ n2 (got nk=%d, n2=%d)", nk, n2)
+	}
+	m := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != m {
+			return nil, fmt.Errorf("seqmerge: sequence %d has %d keys, want %d", i, len(s), m)
+		}
+		if !isSorted(s) {
+			return nil, fmt.Errorf("seqmerge: sequence %d is not sorted", i)
+		}
+	}
+	if m%n1 != 0 {
+		return nil, fmt.Errorf("seqmerge: length %d is not a multiple of n1=%d", m, n1)
+	}
+	// Step 1: distribute each A_u into n1 columns.
+	b := make([][][]Key, nk)
+	for u, a := range seqs {
+		b[u] = distribute(a, n1)
+	}
+	// Step 2: sort each column directly (reference model).
+	c := make([][]Key, n1)
+	for v := 0; v < n1; v++ {
+		col := make([][]Key, nk)
+		for u := 0; u < nk; u++ {
+			col[u] = b[u][v]
+		}
+		out := flatten(col)
+		sortKeys(out)
+		c[v] = out
+	}
+	// Step 3: interleave over the n1 columns.
+	rows := len(c[0])
+	d := make([]Key, 0, nk*m)
+	for j := 0; j < rows; j++ {
+		for v := 0; v < n1; v++ {
+			d = append(d, c[v][j])
+		}
+	}
+	// Step 4: clean with chunks of n1·n2 keys.
+	chunk := n1 * n2
+	if len(d)%chunk != 0 {
+		return nil, fmt.Errorf("seqmerge: %d keys not divisible by chunk %d", len(d), chunk)
+	}
+	chunks := len(d) / chunk
+	sortAlternating(d, chunk)
+	for phase := 0; phase < 2; phase++ {
+		for z := phase; z+1 < chunks; z += 2 {
+			lo := d[z*chunk : (z+1)*chunk]
+			hi := d[(z+1)*chunk : (z+2)*chunk]
+			for t := 0; t < chunk; t++ {
+				if lo[t] > hi[t] {
+					lo[t], hi[t] = hi[t], lo[t]
+				}
+			}
+		}
+	}
+	sortAscendingChunks(d, chunk)
+	return d, nil
+}
+
+// Sort sorts n = N^r keys (r ≥ 2) by the Section 3.3 driver: sort
+// N^(r-2) groups of N² directly, then merge groups of N sequences
+// repeatedly until one remains.
+func Sort(keys []Key, n, r int) ([]Key, error) {
+	if n < 2 || r < 2 {
+		return nil, fmt.Errorf("seqmerge: need N ≥ 2 and r ≥ 2")
+	}
+	total := 1
+	for i := 0; i < r; i++ {
+		total *= n
+	}
+	if len(keys) != total {
+		return nil, fmt.Errorf("seqmerge: %d keys for N^r = %d", len(keys), total)
+	}
+	// Initial N²-sorts.
+	work := append([]Key(nil), keys...)
+	for off := 0; off < total; off += n * n {
+		sortKeys(work[off : off+n*n])
+	}
+	seqs := make([][]Key, 0, total/(n*n))
+	for off := 0; off < total; off += n * n {
+		seqs = append(seqs, work[off:off+n*n])
+	}
+	// Merge rounds.
+	for len(seqs) > 1 {
+		next := make([][]Key, 0, len(seqs)/n)
+		for g := 0; g < len(seqs); g += n {
+			merged, err := Merge(seqs[g : g+n])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		seqs = next
+	}
+	return seqs[0], nil
+}
+
+func isSorted(s []Key) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortKeys(s []Key) { sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) }
+
+func flatten(ss [][]Key) []Key {
+	var out []Key
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}

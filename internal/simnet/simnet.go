@@ -1,0 +1,436 @@
+// Package simnet simulates the synchronous parallel machine the paper's
+// algorithm runs on: an r-dimensional product network with one key per
+// processor, executing lock-step phases of compare-exchange operations.
+//
+// Time is counted in parallel communication rounds, the unit of all the
+// paper's complexity claims. A compare-exchange phase between pairs of
+// adjacent nodes costs one round. When the factor graph is not
+// Hamiltonian-labeled, compare-exchange partners inside a G-subgraph may
+// be several hops apart; the machine then charges the measured cost of a
+// permutation routing that exchanges the keys (Section 4 of the paper:
+// "permutation routing within G may be used to perform the
+// compare-exchange step"). Because disjoint subgraphs operate in
+// parallel, the charge for a phase is the maximum cost over subgraphs.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/routing"
+)
+
+// Key is the value type sorted by the machine.
+type Key = int64
+
+// Clock accumulates the time and phase counts of a computation.
+type Clock struct {
+	// Rounds is the total number of parallel communication rounds.
+	Rounds int
+	// ComparePhases counts compare-exchange phases issued.
+	ComparePhases int
+	// RoutedPhases counts phases that required multi-hop routing.
+	RoutedPhases int
+	// S2Phases counts PG_2 sorting phases (maintained by the 2D sorter).
+	S2Phases int
+	// SweepPhases counts inter-subgraph odd-even transposition sweeps
+	// (maintained by the merge algorithm; Theorem 1 predicts
+	// (r-1)(r-2) of them for a full sort).
+	SweepPhases int
+	// S2Rounds and SweepRounds split Rounds by origin.
+	S2Rounds, SweepRounds int
+	// CompareOps is the total number of comparator operations (pairs)
+	// executed, the "work" of the computation.
+	CompareOps int
+}
+
+// Machine is a product network with one key per node.
+type Machine struct {
+	net   *product.Network
+	keys  []Key
+	plans map[*graph.Graph]*routing.Plan // one per distinct factor
+	clock Clock
+	exec  Executor
+
+	inS2      bool // attribute current rounds to S2Rounds
+	costCache map[costKey]int
+}
+
+// costKey identifies a cached routed-exchange cost: the factor graph it
+// runs on plus the normalized pairing signature.
+type costKey struct {
+	g   *graph.Graph
+	sig string
+}
+
+// Executor applies a compare-exchange phase to the key array. Pairs are
+// (lo, hi) node ids: after the call keys[lo] <= keys[hi] holds for every
+// pair. Implementations must treat pairs as disjoint.
+type Executor interface {
+	CompareExchange(keys []Key, pairs [][2]int)
+}
+
+// SequentialExec applies phases with a simple loop. It is the default.
+type SequentialExec struct{}
+
+// CompareExchange implements Executor.
+func (SequentialExec) CompareExchange(keys []Key, pairs [][2]int) {
+	for _, pr := range pairs {
+		if keys[pr[0]] > keys[pr[1]] {
+			keys[pr[0]], keys[pr[1]] = keys[pr[1]], keys[pr[0]]
+		}
+	}
+}
+
+// GoroutineExec executes each phase with one goroutine per endpoint,
+// exchanging keys over channels exactly as two communicating processors
+// would. It exists to demonstrate and test that phases are data-parallel;
+// results are identical to SequentialExec.
+type GoroutineExec struct{}
+
+// CompareExchange implements Executor with message-passing goroutines.
+func (GoroutineExec) CompareExchange(keys []Key, pairs [][2]int) {
+	var wg sync.WaitGroup
+	for _, pr := range pairs {
+		lo, hi := pr[0], pr[1]
+		a2b := make(chan Key, 1)
+		b2a := make(chan Key, 1)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			mine := keys[lo]
+			a2b <- mine
+			theirs := <-b2a
+			if theirs < mine {
+				keys[lo] = theirs
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			mine := keys[hi]
+			b2a <- mine
+			theirs := <-a2b
+			if theirs > mine {
+				keys[hi] = theirs
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelExec applies each phase by splitting its pairs across a fixed
+// worker pool — the wall-clock-oriented executor for large simulations.
+// Pairs within a phase are node-disjoint, so workers never contend.
+type ParallelExec struct {
+	// Workers is the pool size; values < 1 mean runtime.NumCPU-ish
+	// default of 4.
+	Workers int
+}
+
+// CompareExchange implements Executor.
+func (e ParallelExec) CompareExchange(keys []Key, pairs [][2]int) {
+	w := e.Workers
+	if w < 1 {
+		w = 4
+	}
+	if len(pairs) < 2*w {
+		SequentialExec{}.CompareExchange(keys, pairs)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + w - 1) / w
+	for start := 0; start < len(pairs); start += chunk {
+		end := start + chunk
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		wg.Add(1)
+		go func(part [][2]int) {
+			defer wg.Done()
+			SequentialExec{}.CompareExchange(keys, part)
+		}(pairs[start:end])
+	}
+	wg.Wait()
+}
+
+// RecorderExec wraps another executor and records every phase's pairs.
+// Because the sorting algorithm is oblivious (its schedule depends only
+// on the network, never on the keys), a recorded schedule is a reusable
+// comparator network: see package mergenet.
+type RecorderExec struct {
+	Inner  Executor
+	Phases [][][2]int
+}
+
+// CompareExchange implements Executor: record, then delegate.
+func (r *RecorderExec) CompareExchange(keys []Key, pairs [][2]int) {
+	cp := make([][2]int, len(pairs))
+	copy(cp, pairs)
+	r.Phases = append(r.Phases, cp)
+	if r.Inner != nil {
+		r.Inner.CompareExchange(keys, pairs)
+	}
+}
+
+// New creates a machine over net loaded with the given keys (one per
+// node, copied).
+func New(net *product.Network, keys []Key) (*Machine, error) {
+	if len(keys) != net.Nodes() {
+		return nil, fmt.Errorf("simnet: %d keys for %d nodes", len(keys), net.Nodes())
+	}
+	m := &Machine{
+		net:       net,
+		keys:      append([]Key(nil), keys...),
+		plans:     make(map[*graph.Graph]*routing.Plan),
+		exec:      SequentialExec{},
+		costCache: make(map[costKey]int),
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(net *product.Network, keys []Key) *Machine {
+	m, err := New(net, keys)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetExecutor replaces the phase executor (e.g. with GoroutineExec).
+func (m *Machine) SetExecutor(e Executor) { m.exec = e }
+
+// Net returns the underlying product network.
+func (m *Machine) Net() *product.Network { return m.net }
+
+// Plan returns the routing plan of the dimension-1 factor (the only
+// factor for homogeneous networks).
+func (m *Machine) Plan() *routing.Plan { return m.planFor(m.net.Factor()) }
+
+// planFor returns (building lazily) the routing plan for a factor graph.
+func (m *Machine) planFor(g *graph.Graph) *routing.Plan {
+	if p, ok := m.plans[g]; ok {
+		return p
+	}
+	p := routing.NewPlan(g)
+	m.plans[g] = p
+	return p
+}
+
+// Keys returns a copy of the current key array, indexed by node id.
+func (m *Machine) Keys() []Key { return append([]Key(nil), m.keys...) }
+
+// Key returns the key at node id.
+func (m *Machine) Key(id int) Key { return m.keys[id] }
+
+// Clock returns a copy of the accumulated counters.
+func (m *Machine) Clock() Clock { return m.clock }
+
+// ResetClock zeroes the counters, keeping the keys.
+func (m *Machine) ResetClock() { m.clock = Clock{} }
+
+// AddS2Phase records a completed PG_2 sort phase (called by the 2D
+// sorter once per logical S_2 invocation).
+func (m *Machine) AddS2Phase() { m.clock.S2Phases++ }
+
+// AddSweepPhase records a completed inter-subgraph transposition sweep.
+func (m *Machine) AddSweepPhase() { m.clock.SweepPhases++ }
+
+// BeginS2 and EndS2 bracket the rounds attributable to PG_2 sorting so
+// the clock can split Rounds into S2Rounds and SweepRounds.
+func (m *Machine) BeginS2() { m.inS2 = true }
+
+// EndS2 ends an S2 attribution bracket.
+func (m *Machine) EndS2() { m.inS2 = false }
+
+// IdleRound charges one round with no data movement. The algorithm's
+// schedule is oblivious (it does not depend on the keys), so a phase in
+// which no processor happens to have a partner still consumes a
+// synchronous step; this keeps measured rounds equal to the paper's
+// closed forms.
+func (m *Machine) IdleRound() {
+	m.clock.Rounds++
+	if m.inS2 {
+		m.clock.S2Rounds++
+	} else {
+		m.clock.SweepRounds++
+	}
+}
+
+// CompareExchange performs one parallel compare-exchange phase. Each
+// pair is (lo, hi): after the phase keys[lo] <= keys[hi]. Pairs must be
+// node-disjoint and each pair must differ in exactly one dimension
+// (their endpoints then share a G-subgraph); violations panic, since
+// they indicate an algorithm bug rather than bad input.
+//
+// Cost: one round if every pair is an edge of the product network,
+// otherwise the maximum measured key-exchange routing cost over the
+// G-subgraphs involved (disjoint subgraphs run in parallel).
+func (m *Machine) CompareExchange(pairs [][2]int) {
+	if len(pairs) == 0 {
+		return
+	}
+	cost := m.phaseCost(pairs)
+	m.exec.CompareExchange(m.keys, pairs)
+	m.clock.ComparePhases++
+	m.clock.CompareOps += len(pairs)
+	m.clock.Rounds += cost
+	if m.inS2 {
+		m.clock.S2Rounds += cost
+	} else {
+		m.clock.SweepRounds += cost
+	}
+	if cost > 1 {
+		m.clock.RoutedPhases++
+	}
+}
+
+// phaseCost validates the pairs and computes the round charge.
+func (m *Machine) phaseCost(pairs [][2]int) int {
+	busy := make(map[int]bool, 2*len(pairs))
+	allAdjacent := true
+	// Factor-level exchange sets keyed by (dimension, subgraph base id).
+	type subKey struct{ dim, base int }
+	subPairs := make(map[subKey][][2]int)
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a == b {
+			panic("simnet: degenerate compare-exchange pair")
+		}
+		if busy[a] || busy[b] {
+			panic("simnet: overlapping compare-exchange pairs")
+		}
+		busy[a], busy[b] = true, true
+		dim := m.differingDim(a, b)
+		da, db := m.net.Digit(a, dim), m.net.Digit(b, dim)
+		if !m.net.FactorAt(dim).HasEdge(da, db) {
+			allAdjacent = false
+		}
+		k := subKey{dim, m.net.SetDigit(a, dim, 0)}
+		subPairs[k] = append(subPairs[k], [2]int{da, db})
+	}
+	if allAdjacent {
+		return 1
+	}
+	worst := 1
+	for k, fp := range subPairs {
+		c := m.cachedExchangeCost(m.net.FactorAt(k.dim), fp)
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// differingDim returns the unique dimension where a and b differ, or
+// panics if they differ in zero or more than one dimension.
+func (m *Machine) differingDim(a, b int) int {
+	dim := 0
+	for d := 1; d <= m.net.R(); d++ {
+		if m.net.Digit(a, d) != m.net.Digit(b, d) {
+			if dim != 0 {
+				panic(fmt.Sprintf("simnet: nodes %d and %d differ in more than one dimension", a, b))
+			}
+			dim = d
+		}
+	}
+	if dim == 0 {
+		panic(fmt.Sprintf("simnet: nodes %d and %d identical", a, b))
+	}
+	return dim
+}
+
+// cachedExchangeCost measures (and caches) the routing cost of a
+// factor-level pairwise key exchange on the given factor graph.
+func (m *Machine) cachedExchangeCost(g *graph.Graph, fp [][2]int) int {
+	norm := make([][2]int, len(fp))
+	for i, pr := range fp {
+		a, b := pr[0], pr[1]
+		if a > b {
+			a, b = b, a
+		}
+		norm[i] = [2]int{a, b}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	sig := make([]byte, 0, 2*len(norm))
+	for _, pr := range norm {
+		sig = append(sig, byte(pr[0]), byte(pr[1]))
+	}
+	key := costKey{g: g, sig: string(sig)}
+	if c, ok := m.costCache[key]; ok {
+		return c
+	}
+	c := m.planFor(g).ExchangeRounds(norm)
+	m.costCache[key] = c
+	return c
+}
+
+// SnakeKeys returns the keys read off in snake order of the whole
+// network: position i of the result is the key at snake position i.
+func (m *Machine) SnakeKeys() []Key {
+	out := make([]Key, len(m.keys))
+	for pos := range out {
+		out[pos] = m.keys[m.net.NodeAtSnake(pos)]
+	}
+	return out
+}
+
+// IsSortedSnake reports whether the keys are in nondecreasing order when
+// read in snake order of the whole network.
+func (m *Machine) IsSortedSnake() bool {
+	prev := int64(0)
+	for pos := 0; pos < len(m.keys); pos++ {
+		k := m.keys[m.net.NodeAtSnake(pos)]
+		if pos > 0 && k < prev {
+			return false
+		}
+		prev = k
+	}
+	return true
+}
+
+// BlockSnakeKeys returns the keys of one block (identified by base and
+// spanned by dims) in the block's local snake order.
+func (m *Machine) BlockSnakeKeys(base int, dims []int) []Key {
+	size := m.net.BlockSize(dims)
+	out := make([]Key, size)
+	for pos := 0; pos < size; pos++ {
+		out[pos] = m.keys[m.net.NodeInBlock(base, dims, pos)]
+	}
+	return out
+}
+
+// IsBlockSortedSnake reports whether a block's keys are nondecreasing in
+// the block's local snake order.
+func (m *Machine) IsBlockSortedSnake(base int, dims []int) bool {
+	size := m.net.BlockSize(dims)
+	var prev Key
+	for pos := 0; pos < size; pos++ {
+		k := m.keys[m.net.NodeInBlock(base, dims, pos)]
+		if pos > 0 && k < prev {
+			return false
+		}
+		prev = k
+	}
+	return true
+}
+
+// LoadSnake stores keys so that snake position i holds keys[i]. It is
+// free (initial data placement), used to set up merge preconditions in
+// tests.
+func (m *Machine) LoadSnake(keys []Key) {
+	if len(keys) != len(m.keys) {
+		panic("simnet: wrong key count")
+	}
+	for pos, k := range keys {
+		m.keys[m.net.NodeAtSnake(pos)] = k
+	}
+}

@@ -1,0 +1,129 @@
+package sort2d
+
+import (
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+func heteroNet(t *testing.T, factors ...*graph.Graph) *product.Network {
+	t.Helper()
+	net, err := product.NewHetero(factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestShearsortRectBlocks(t *testing.T) {
+	shapes := [][]*graph.Graph{
+		{graph.Path(4), graph.Path(3)},
+		{graph.Path(3), graph.Path(4)},
+		{graph.Path(2), graph.Path(7)},
+		{graph.Path(8), graph.Path(2)},
+		{graph.Cycle(5), graph.Path(3)},
+	}
+	for _, factors := range shapes {
+		net := heteroNet(t, factors...)
+		for seed := int64(0); seed < 4; seed++ {
+			m := simnet.MustNew(net, randomKeys(net.Nodes(), seed))
+			Shearsort{}.Sort(m, 1, 2, AscendingAll)
+			checkBlockOrder(t, m, 1, 2, AscendingAll)
+		}
+	}
+}
+
+func TestShearsortRectZeroOneExhaustive(t *testing.T) {
+	// 4×3 and 2×6 rectangles, all 2^12 zero-one inputs.
+	for _, factors := range [][]*graph.Graph{
+		{graph.Path(4), graph.Path(3)},
+		{graph.Path(2), graph.Path(6)},
+		{graph.Path(6), graph.Path(2)},
+	} {
+		net := heteroNet(t, factors...)
+		size := net.Nodes()
+		for mask := 0; mask < 1<<size; mask++ {
+			keys := make([]simnet.Key, size)
+			for i := range keys {
+				keys[i] = simnet.Key(mask >> i & 1)
+			}
+			m := simnet.MustNew(net, keys)
+			Shearsort{}.Sort(m, 1, 2, AscendingAll)
+			if !m.IsSortedSnake() {
+				t.Fatalf("%s: 0-1 input %b unsorted", net.Name(), mask)
+			}
+		}
+	}
+}
+
+func TestSnakeOETRectBlocks(t *testing.T) {
+	net := heteroNet(t, graph.Path(3), graph.Path(5))
+	m := simnet.MustNew(net, randomKeys(net.Nodes(), 9))
+	SnakeOET{}.Sort(m, 1, 2, AscendingAll)
+	checkBlockOrder(t, m, 1, 2, AscendingAll)
+	if got, want := m.Clock().Rounds, (SnakeOET{}).RoundsAB(3, 5); got != want {
+		t.Errorf("rounds %d want %d", got, want)
+	}
+}
+
+func TestShearsortRectPredictedRounds(t *testing.T) {
+	cases := []struct{ nA, nB int }{{4, 3}, {3, 4}, {2, 7}, {8, 2}, {2, 2}}
+	for _, c := range cases {
+		net := heteroNet(t, graph.Path(c.nA), graph.Path(c.nB))
+		m := simnet.MustNew(net, randomKeys(net.Nodes(), 5))
+		Shearsort{}.Sort(m, 1, 2, AscendingAll)
+		if got, want := m.Clock().Rounds, (Shearsort{}).RoundsAB(c.nA, c.nB); got != want {
+			t.Errorf("%dx%d: rounds %d want %d", c.nA, c.nB, got, want)
+		}
+	}
+}
+
+func TestRectDescendingAndAlternating(t *testing.T) {
+	net := heteroNet(t, graph.Path(4), graph.Path(3), graph.Path(2))
+	asc := func(base int) bool { return net.Digit(base, 3)%2 == 0 }
+	m := simnet.MustNew(net, randomKeys(net.Nodes(), 13))
+	Shearsort{}.Sort(m, 1, 2, asc)
+	checkBlockOrder(t, m, 1, 2, asc)
+}
+
+func TestAutoHeteroPicksOpt4OnlyFor2x2(t *testing.T) {
+	// 2×4 block: Auto must fall back to shearsort (Opt4 would panic).
+	net := heteroNet(t, graph.Path(2), graph.Path(4))
+	m := simnet.MustNew(net, randomKeys(8, 3))
+	Auto{}.Sort(m, 1, 2, AscendingAll)
+	checkBlockOrder(t, m, 1, 2, AscendingAll)
+	// 2×2 all-K2: Auto uses Opt4's 3 rounds.
+	net2 := heteroNet(t, graph.K2(), graph.K2())
+	m2 := simnet.MustNew(net2, randomKeys(4, 3))
+	Auto{}.Sort(m2, 1, 2, AscendingAll)
+	if m2.Clock().Rounds != 3 {
+		t.Errorf("auto on 2x2 took %d rounds", m2.Clock().Rounds)
+	}
+}
+
+func TestRoundsABConsistency(t *testing.T) {
+	for _, e := range []Engine{Shearsort{}, SnakeOET{}, Auto{}} {
+		for _, n := range []int{2, 3, 4, 8} {
+			if e.Rounds(n) != e.RoundsAB(n, n) {
+				t.Errorf("%s: Rounds(%d) != RoundsAB(%d,%d)", e.Name(), n, n, n)
+			}
+		}
+	}
+	if (Opt4{}).Rounds(2) != (Opt4{}).RoundsAB(2, 2) {
+		t.Error("opt4 inconsistency")
+	}
+}
+
+// TestShearsortRandomFactors: the generic S2 engine on random connected
+// factors, including routed comparators.
+func TestShearsortRandomFactors(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.RandomConnected(4+int(seed)%6, int(seed)%3, seed)
+		net := product.MustNew(g, 2)
+		m := simnet.MustNew(net, randomKeys(net.Nodes(), seed))
+		Shearsort{}.Sort(m, 1, 2, AscendingAll)
+		checkBlockOrder(t, m, 1, 2, AscendingAll)
+	}
+}

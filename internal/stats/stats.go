@@ -1,0 +1,248 @@
+// Package stats renders the experiment tables and figure series printed
+// by cmd/bench and recorded in EXPERIMENTS.md: plain aligned text,
+// deterministic, diff-friendly.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells are formatted with %v. The cell count must
+// match the column count.
+func (t *Table) Add(cells ...any) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	header := line(t.Columns)
+	fmt.Fprintf(w, "%s\n%s\n", header, strings.Repeat("-", len(header)))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "%s\n", line(row))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one curve of a figure: y values indexed by x labels.
+type Series struct {
+	Name string
+	Xs   []string
+	Ys   []float64
+}
+
+// Figure is a set of series over a shared x axis, rendered as a table
+// plus an ASCII plot so trends are visible in a terminal.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries registers a named curve and returns it for appending points.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Point appends an (x, y) sample.
+func (s *Series) Point(x string, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Render writes the figure as a data table followed by a bar sketch per
+// series (log-free, linear scale).
+func (f *Figure) Render(w io.Writer) {
+	t := NewTable(f.Title, append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	// Use the x axis of the longest series as the row spine.
+	var spine []string
+	for _, s := range f.Series {
+		if len(s.Xs) > len(spine) {
+			spine = s.Xs
+		}
+	}
+	for i, x := range spine {
+		cells := make([]any, 0, 1+len(f.Series))
+		cells = append(cells, x)
+		for _, s := range f.Series {
+			if i < len(s.Ys) {
+				cells = append(cells, s.Ys[i])
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.Add(cells...)
+	}
+	t.Render(w)
+	// ASCII sketch: one bar row per point, scaled to 48 columns.
+	max := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Ys {
+			if y > max {
+				max = y
+			}
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%s (%s)\n", s.Name, f.YLabel)
+		for i, y := range s.Ys {
+			bar := int(y / max * 48)
+			fmt.Fprintf(w, "  %-8s |%s %.0f\n", s.Xs[i], strings.Repeat("#", bar), y)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	f.Render(&sb)
+	return sb.String()
+}
+
+func seriesNames(ss []*Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// CSV writes the table as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted. Notes are omitted —
+// CSV is for machines.
+func (t *Table) CSV(w io.Writer) error {
+	rows := append([][]string{t.Columns}, t.rows...)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, csvQuote(cell)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// CSV writes the figure's data table as comma-separated values: the x
+// column followed by one column per series.
+func (f *Figure) CSV(w io.Writer) error {
+	t := NewTable("", append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	var spine []string
+	for _, s := range f.Series {
+		if len(s.Xs) > len(spine) {
+			spine = s.Xs
+		}
+	}
+	for i, x := range spine {
+		cells := make([]any, 0, 1+len(f.Series))
+		cells = append(cells, x)
+		for _, s := range f.Series {
+			if i < len(s.Ys) {
+				cells = append(cells, s.Ys[i])
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.Add(cells...)
+	}
+	return t.CSV(w)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("alpha", 1)
+	tb.Add("beta-long-name", 2.5)
+	tb.Note("a note with %d parts", 2)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "beta-long-name", "2.50", "note: a note with 2 parts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len=%d", tb.Len())
+	}
+	// Columns aligned: header separator at least as wide as widest row.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "c1")
+	tb.Add("v")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n=") {
+		t.Error("empty title still rendered underline")
+	}
+	if !strings.Contains(out, "c1") {
+		t.Error("missing header")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("Scaling", "N", "rounds")
+	s1 := f.AddSeries("multiway")
+	s1.Point("2", 10)
+	s1.Point("4", 40)
+	s1.Point("8", 160)
+	s2 := f.AddSeries("baseline")
+	s2.Point("2", 12)
+	s2.Point("4", 50)
+	out := f.String()
+	for _, want := range []string{"Scaling", "multiway", "baseline", "160", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	// The short series must render "-" for its missing row.
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for ragged series")
+	}
+}
+
+func TestFigureEmptySeries(t *testing.T) {
+	f := NewFigure("Empty", "x", "y")
+	f.AddSeries("nothing")
+	out := f.String() // must not panic or divide by zero
+	if !strings.Contains(out, "Empty") {
+		t.Error("missing title")
+	}
+}
+
+func TestFigureZeroMax(t *testing.T) {
+	f := NewFigure("Zeros", "x", "y")
+	s := f.AddSeries("flat")
+	s.Point("a", 0)
+	out := f.String()
+	if !strings.Contains(out, "Zeros") {
+		t.Error("missing title")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.Add("plain", 1)
+	tb.Add("with,comma", 2.5)
+	tb.Add(`with"quote`, 3)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"name,value\n", "plain,1\n", `"with,comma",2.50`, `"with""quote",3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("F", "x", "y")
+	s1 := f.AddSeries("a")
+	s1.Point("1", 10)
+	s1.Point("2", 20)
+	s2 := f.AddSeries("b")
+	s2.Point("1", 30)
+	var sb strings.Builder
+	if err := f.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "x,a,b\n") || !strings.Contains(out, "2,20.00,\n") {
+		t.Errorf("figure CSV:\n%s", out)
+	}
+}

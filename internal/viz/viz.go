@@ -1,0 +1,135 @@
+// Package viz renders machine states as ASCII grids in the layout of
+// the paper's Figs. 12–15: dimension 1 runs left-to-right within a row,
+// dimension 2 top-to-bottom, and dimension 3 (when present) lays slabs
+// side by side. Used by the E1 trace and by psort's -trace flag.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+// Render draws the keys of machine m (up to three dimensions).
+func Render(m *simnet.Machine) string { return RenderKeys(m.Net(), m.Keys()) }
+
+// RenderKeys draws keys (indexed by node id) on the given network.
+// Networks with more than three dimensions are summarized as their
+// snake sequence.
+func RenderKeys(net *product.Network, keys []simnet.Key) string {
+	width := 1
+	for _, k := range keys {
+		if w := len(fmt.Sprint(k)); w > width {
+			width = w
+		}
+	}
+	cell := func(id int) string { return fmt.Sprintf("%*d", width, keys[id]) }
+	var sb strings.Builder
+	switch net.R() {
+	case 1:
+		for v := 0; v < net.Radix(1); v++ {
+			if v > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(cell(v))
+		}
+		sb.WriteByte('\n')
+	case 2:
+		for y := 0; y < net.Radix(2); y++ {
+			for x := 0; x < net.Radix(1); x++ {
+				if x > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(cell(net.ID([]int{x, y})))
+			}
+			sb.WriteByte('\n')
+		}
+	case 3:
+		nx, ny, nz := net.Radix(1), net.Radix(2), net.Radix(3)
+		slabWidth := nx*(width+1) - 1
+		for z := 0; z < nz; z++ {
+			sb.WriteString(pad(fmt.Sprintf("[%d]", z), slabWidth))
+			if z < nz-1 {
+				sb.WriteString("   ")
+			}
+		}
+		sb.WriteByte('\n')
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for x := 0; x < nx; x++ {
+					if x > 0 {
+						sb.WriteByte(' ')
+					}
+					sb.WriteString(cell(net.ID([]int{x, y, z})))
+				}
+				if z < nz-1 {
+					sb.WriteString("   ")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	default:
+		sb.WriteString("snake order: ")
+		for pos := 0; pos < net.Nodes(); pos++ {
+			if pos > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(cell(net.NodeAtSnake(pos)))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FactorDOT renders a factor graph in Graphviz DOT format. Node labels
+// are the sorting order; Hamiltonian-consecutive edges are highlighted
+// bold so the snake path is visible.
+func FactorDOT(g *graph.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  layout=neato;\n  node [shape=circle];\n", g.Name())
+	for _, e := range g.Edges() {
+		attr := ""
+		if e[1]-e[0] == 1 {
+			attr = " [style=bold]"
+		}
+		fmt.Fprintf(&sb, "  %d -- %d%s;\n", e[0], e[1], attr)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ProductDOT renders a product network in DOT format with nodes named
+// by their labels (position r … position 1). Intended for small
+// networks (it emits every edge).
+func ProductDOT(net *product.Network) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  node [shape=box];\n", net.Name())
+	buf := make([]int, net.R())
+	name := func(id int) string {
+		net.Label(id, buf)
+		parts := make([]string, len(buf))
+		for i := range buf {
+			parts[len(buf)-1-i] = fmt.Sprint(buf[i])
+		}
+		return strings.Join(parts, ".")
+	}
+	for id := 0; id < net.Nodes(); id++ {
+		for _, nb := range net.Neighbors(id) {
+			if id < nb {
+				fmt.Fprintf(&sb, "  %q -- %q;\n", name(id), name(nb))
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+func seq(n int) []simnet.Key {
+	ks := make([]simnet.Key, n)
+	for i := range ks {
+		ks[i] = simnet.Key(i)
+	}
+	return ks
+}
+
+func TestRender1D(t *testing.T) {
+	net := product.MustNew(graph.Path(4), 1)
+	out := RenderKeys(net, seq(4))
+	if out != "0 1 2 3\n" {
+		t.Errorf("1D render %q", out)
+	}
+}
+
+func TestRender2D(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	out := RenderKeys(net, seq(9))
+	want := "0 1 2\n3 4 5\n6 7 8\n"
+	if out != want {
+		t.Errorf("2D render:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestRender3D(t *testing.T) {
+	net := product.MustNew(graph.Path(2), 3)
+	out := RenderKeys(net, seq(8))
+	if !strings.Contains(out, "[0]") || !strings.Contains(out, "[1]") {
+		t.Errorf("3D render missing slab headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("3D render has %d lines:\n%s", len(lines), out)
+	}
+	// Row y=0 holds ids 0,1 (slab 0) and 4,5 (slab 1).
+	if !strings.HasPrefix(lines[1], "0 1   4 5") {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+}
+
+func TestRenderHighDimFallsBack(t *testing.T) {
+	net := product.MustNew(graph.Path(2), 4)
+	out := RenderKeys(net, seq(16))
+	if !strings.HasPrefix(out, "snake order:") {
+		t.Errorf("4D render %q", out)
+	}
+}
+
+func TestRenderMachine(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	m := simnet.MustNew(net, seq(9))
+	if Render(m) != RenderKeys(net, seq(9)) {
+		t.Error("Render(machine) differs from RenderKeys")
+	}
+}
+
+func TestFactorDOT(t *testing.T) {
+	out := FactorDOT(graph.Cycle(4))
+	for _, want := range []string{"graph \"cycle4\"", "0 -- 1 [style=bold]", "0 -- 3;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("factor DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProductDOT(t *testing.T) {
+	net := product.MustNew(graph.Path(2), 2)
+	out := ProductDOT(net)
+	// 2x2 grid: 4 edges, node names like "0.1" (pos2.pos1).
+	if strings.Count(out, " -- ") != 4 {
+		t.Errorf("product DOT edge count:\n%s", out)
+	}
+	for _, want := range []string{`"0.0" -- "0.1"`, `"0.0" -- "1.0"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("product DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWideKeysAligned(t *testing.T) {
+	net := product.MustNew(graph.Path(2), 2)
+	out := RenderKeys(net, []simnet.Key{5, 1000, 7, 42})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}

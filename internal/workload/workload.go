@@ -1,0 +1,188 @@
+// Package workload generates deterministic key sets for the experiments:
+// the same (generator, size, seed) triple always yields the same keys,
+// so every table in EXPERIMENTS.md is reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"productsort/internal/simnet"
+)
+
+// Key aliases the machine's key type.
+type Key = simnet.Key
+
+// Gen produces n keys from a seed.
+type Gen func(n int, seed int64) []Key
+
+// Uniform returns uniformly random keys in [0, 4n).
+func Uniform(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(4*n + 1))
+	}
+	return ks
+}
+
+// Permutation returns a random permutation of 0..n-1: all keys distinct.
+func Permutation(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i, p := range rng.Perm(n) {
+		ks[i] = Key(p)
+	}
+	return ks
+}
+
+// Sorted returns 0..n-1 already in order (best case probe).
+func Sorted(n int, _ int64) []Key {
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(i)
+	}
+	return ks
+}
+
+// Reverse returns n-1..0 (a classically hard input).
+func Reverse(n int, _ int64) []Key {
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(n - 1 - i)
+	}
+	return ks
+}
+
+// NearlySorted returns 0..n-1 with about n/8 random adjacent swaps.
+func NearlySorted(n int, seed int64) []Key {
+	ks := Sorted(n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n/8; i++ {
+		j := rng.Intn(n - 1)
+		ks[j], ks[j+1] = ks[j+1], ks[j]
+	}
+	return ks
+}
+
+// FewDistinct returns keys drawn from only 4 distinct values.
+func FewDistinct(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(4))
+	}
+	return ks
+}
+
+// ZeroOne returns random 0-1 keys (for zero-one-principle experiments).
+func ZeroOne(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(2))
+	}
+	return ks
+}
+
+// ZeroOneBalanced returns a shuffled half-zeros, half-ones input: the
+// hardest density for dirty-area experiments.
+func ZeroOneBalanced(n int, seed int64) []Key {
+	ks := make([]Key, n)
+	for i := n / 2; i < n; i++ {
+		ks[i] = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+	return ks
+}
+
+// OrganPipe returns 0,1,…,n/2,…,1,0: ascending then descending.
+func OrganPipe(n int, _ int64) []Key {
+	ks := make([]Key, n)
+	for i := range ks {
+		if i < n/2 {
+			ks[i] = Key(i)
+		} else {
+			ks[i] = Key(n - 1 - i)
+		}
+	}
+	return ks
+}
+
+// Gaussianish returns sums of three uniforms, giving a centered
+// distribution with duplicates.
+func Gaussianish(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(rng.Intn(n) + rng.Intn(n) + rng.Intn(n))
+	}
+	return ks
+}
+
+// Zipfish returns keys drawn from an approximate Zipf distribution
+// (heavy head, long tail) — a common skewed-data stand-in.
+func Zipfish(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(4*n))
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = Key(z.Uint64())
+	}
+	return ks
+}
+
+// Runs returns a concatenation of presorted runs of random lengths —
+// the shape real merge inputs have.
+func Runs(n int, seed int64) []Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]Key, 0, n)
+	for len(ks) < n {
+		runLen := 1 + rng.Intn(n/4+1)
+		if len(ks)+runLen > n {
+			runLen = n - len(ks)
+		}
+		start := Key(rng.Intn(2 * n))
+		for i := 0; i < runLen; i++ {
+			ks = append(ks, start+Key(i))
+		}
+	}
+	return ks
+}
+
+// ByName returns the named generator. Names match the -workload flags of
+// the command-line tools.
+func ByName(name string) (Gen, error) {
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q (have %v)", name, Names())
+	}
+	return g, nil
+}
+
+var registry = map[string]Gen{
+	"uniform":       Uniform,
+	"permutation":   Permutation,
+	"sorted":        Sorted,
+	"reverse":       Reverse,
+	"nearly-sorted": NearlySorted,
+	"few-distinct":  FewDistinct,
+	"zero-one":      ZeroOne,
+	"zero-one-bal":  ZeroOneBalanced,
+	"organ-pipe":    OrganPipe,
+	"gaussianish":   Gaussianish,
+	"zipfish":       Zipfish,
+	"runs":          Runs,
+}
+
+// Names lists the registered generator names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := g(64, 42)
+		b := g(64, 42)
+		if len(a) != 64 || len(b) != 64 {
+			t.Fatalf("%s: wrong length", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	for _, name := range []string{"uniform", "permutation", "zero-one", "gaussianish"} {
+		g, _ := ByName(name)
+		a, b := g(128, 1), g(128, 2)
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 give identical output", name)
+		}
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	ks := Permutation(50, 7)
+	seen := make(map[Key]bool)
+	for _, k := range ks {
+		if k < 0 || k >= 50 || seen[k] {
+			t.Fatalf("not a permutation: %v", ks)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	s := Sorted(5, 0)
+	r := Reverse(5, 0)
+	for i := 0; i < 5; i++ {
+		if s[i] != Key(i) || r[i] != Key(4-i) {
+			t.Fatalf("sorted/reverse wrong: %v %v", s, r)
+		}
+	}
+}
+
+func TestZeroOneOnlyBits(t *testing.T) {
+	for _, g := range []Gen{ZeroOne, ZeroOneBalanced} {
+		ks := g(100, 3)
+		for _, k := range ks {
+			if k != 0 && k != 1 {
+				t.Fatalf("non-binary key %d", k)
+			}
+		}
+	}
+	// Balanced variant has exactly n/2 ones.
+	ones := 0
+	for _, k := range ZeroOneBalanced(100, 5) {
+		if k == 1 {
+			ones++
+		}
+	}
+	if ones != 50 {
+		t.Errorf("balanced has %d ones want 50", ones)
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	distinct := make(map[Key]bool)
+	for _, k := range FewDistinct(200, 9) {
+		distinct[k] = true
+	}
+	if len(distinct) > 4 {
+		t.Errorf("%d distinct values want ≤4", len(distinct))
+	}
+}
+
+func TestOrganPipe(t *testing.T) {
+	ks := OrganPipe(6, 0)
+	want := []Key{0, 1, 2, 2, 1, 0}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("organ pipe %v want %v", ks, want)
+		}
+	}
+}
+
+func TestNearlySortedIsClose(t *testing.T) {
+	ks := NearlySorted(64, 11)
+	inversions := 0
+	for i := 1; i < len(ks); i++ {
+		if ks[i] < ks[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("nearly-sorted is fully sorted (swaps had no effect?)")
+	}
+	if inversions > 16 {
+		t.Errorf("nearly-sorted has %d adjacent inversions, too disordered", inversions)
+	}
+}
+
+func TestZipfishSkew(t *testing.T) {
+	ks := Zipfish(500, 7)
+	small := 0
+	for _, k := range ks {
+		if k <= 2 {
+			small++
+		}
+	}
+	if small < 100 {
+		t.Errorf("zipfish not head-heavy: %d/500 keys ≤ 2", small)
+	}
+}
+
+func TestRunsHasSortedRuns(t *testing.T) {
+	ks := Runs(200, 3)
+	if len(ks) != 200 {
+		t.Fatalf("length %d", len(ks))
+	}
+	ascSteps := 0
+	for i := 1; i < len(ks); i++ {
+		if ks[i] >= ks[i-1] {
+			ascSteps++
+		}
+	}
+	if ascSteps < 120 {
+		t.Errorf("runs workload not run-structured: %d/199 ascending steps", ascSteps)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Errorf("%d generators registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}
