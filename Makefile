@@ -1,0 +1,32 @@
+# Verification pipeline. `make ci` is the gate: vet, build, full test
+# suite, race detector on the concurrency-heavy packages, and gofmt
+# cleanliness (any unformatted file fails the run).
+
+GO ?= go
+
+.PHONY: ci vet build test race fmtcheck fmt bench-schedule
+
+ci: vet build test race fmtcheck
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/schedule/... ./internal/spmd/...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench-schedule:
+	$(GO) run ./cmd/bench -schedule

@@ -23,7 +23,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	csvDir := flag.String("csv", "", "also write each table/figure as CSV into <dir>")
+	schedMode := flag.Bool("schedule", false, "benchmark cold compile vs warm replay of the cached phase program and exit")
+	schedOut := flag.String("scheduleout", "BENCH_schedule.json", "output path for -schedule")
+	schedSets := flag.Int("sets", 64, "key sets per topology for -schedule")
+	schedWorkers := flag.Int("workers", 0, "worker pool size for -schedule (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *schedMode {
+		if err := runScheduleBench(*schedOut, *schedSets, *schedWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	for _, d := range []string{*outDir, *csvDir} {
 		if d != "" {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"productsort"
+	"productsort/internal/schedule"
+	"productsort/internal/workload"
+)
+
+// scheduleEntry is one topology's cold-vs-warm measurement.
+type scheduleEntry struct {
+	Network string `json:"network"`
+	Nodes   int    `json:"nodes"`
+	Rounds  int    `json:"rounds"`
+	// ColdNs is the wall-clock of compile + one sort with an empty cache
+	// (the pre-refactor per-sort cost; best of 3).
+	ColdNs int64 `json:"coldNs"`
+	// WarmPerSetNs is the wall-clock per key set when Sets sets are
+	// replayed through the cached program by the worker pool.
+	WarmPerSetNs int64 `json:"warmPerSetNs"`
+	// Speedup is ColdNs / WarmPerSetNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// scheduleReport is the BENCH_schedule.json document.
+type scheduleReport struct {
+	Generated string          `json:"generated"`
+	Sets      int             `json:"sets"`
+	Workers   int             `json:"workers"`
+	Entries   []scheduleEntry `json:"entries"`
+	// Compiles confirms the batch phase performed zero schedule
+	// constructions beyond the cold ones.
+	Compiles int64 `json:"compiles"`
+}
+
+// runScheduleBench contrasts cold compile+sort against warm batch
+// replay on a spread of topologies and writes the report to path.
+func runScheduleBench(path string, sets, workers int) error {
+	if sets < 1 {
+		return fmt.Errorf("schedule bench: -sets %d < 1", sets)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nets := []*productsort.Network{}
+	for _, build := range []func() (*productsort.Network, error){
+		func() (*productsort.Network, error) { return productsort.Grid(8, 3) },
+		func() (*productsort.Network, error) { return productsort.Hypercube(9) },
+		func() (*productsort.Network, error) { return productsort.PetersenCube(2) },
+		func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) },
+	} {
+		nw, err := build()
+		if err != nil {
+			return err
+		}
+		nets = append(nets, nw)
+	}
+	gen, err := workload.ByName("uniform")
+	if err != nil {
+		return err
+	}
+
+	report := scheduleReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Sets:      sets,
+		Workers:   workers,
+	}
+	for _, nw := range nets {
+		// Cold: empty cache, compile + one sort. Best of 3 to shed
+		// scheduler noise.
+		var cold time.Duration
+		for rep := 0; rep < 3; rep++ {
+			schedule.ResetCache()
+			keys := gen(nw.Nodes(), int64(rep))
+			start := time.Now()
+			c, err := productsort.Compile(nw)
+			if err != nil {
+				return err
+			}
+			if _, err := c.Sort(keys); err != nil {
+				return err
+			}
+			if d := time.Since(start); rep == 0 || d < cold {
+				cold = d
+			}
+		}
+
+		// Warm: M sets through the cached program across the pool.
+		c, err := productsort.Compile(nw)
+		if err != nil {
+			return err
+		}
+		before := schedule.Stats().Compiles
+		batch := make([][]productsort.Key, sets)
+		for i := range batch {
+			batch[i] = gen(nw.Nodes(), int64(i)+100)
+		}
+		start := time.Now()
+		if err := c.SortBatch(batch, workers); err != nil {
+			return err
+		}
+		warm := time.Since(start)
+		if got := schedule.Stats().Compiles; got != before {
+			return fmt.Errorf("schedule bench: batch recompiled (%d -> %d constructions)", before, got)
+		}
+		for i, set := range batch {
+			if !productsort.IsSorted(set) {
+				return fmt.Errorf("schedule bench: %s batch set %d not sorted", nw.Name(), i)
+			}
+		}
+
+		perSet := warm.Nanoseconds() / int64(sets)
+		e := scheduleEntry{
+			Network:      nw.Name(),
+			Nodes:        nw.Nodes(),
+			Rounds:       c.Rounds(),
+			ColdNs:       cold.Nanoseconds(),
+			WarmPerSetNs: perSet,
+		}
+		if perSet > 0 {
+			e.Speedup = float64(e.ColdNs) / float64(perSet)
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-22s nodes=%-5d cold=%-12v warm/set=%-12v speedup=%.1fx\n",
+			nw.Name(), nw.Nodes(), cold.Round(time.Microsecond),
+			time.Duration(perSet).Round(time.Microsecond), e.Speedup)
+	}
+	report.Compiles = schedule.Stats().Compiles
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d sets, %d workers)\n", path, sets, workers)
+	return nil
+}

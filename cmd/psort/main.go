@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"productsort"
 	"productsort/internal/cli"
@@ -31,6 +32,8 @@ func main() {
 		trace    = flag.Bool("trace", false, "render machine state after each stage (r ≤ 3 grids)")
 		maxPrint = flag.Int("maxprint", 64, "max keys to print with -v")
 		block    = flag.Int("block", 0, "also run the blocked sort with this many keys per processor")
+		batch    = flag.Int("batch", 0, "also sort this many independent key sets through the one compiled program")
+		workers  = flag.Int("workers", 0, "worker pool size for -batch (0 = auto)")
 	)
 	flag.Parse()
 
@@ -91,6 +94,31 @@ func main() {
 		}
 		fmt.Printf("block sort         %d keys (%d/processor): rounds=%d sorted=%v\n",
 			len(blockKeys), *block, st.Rounds, productsort.IsSorted(blockKeys))
+	}
+	if *batch > 0 {
+		c, err := s.Compile(nw)
+		if err != nil {
+			fail(err)
+		}
+		sets := make([][]productsort.Key, *batch)
+		for i := range sets {
+			sets[i] = gen(nw.Nodes(), *seed+int64(i)+2)
+		}
+		start := time.Now()
+		if err := c.SortBatch(sets, *workers); err != nil {
+			fail(err)
+		}
+		elapsed := time.Since(start)
+		sorted := true
+		for _, set := range sets {
+			if !productsort.IsSorted(set) {
+				sorted = false
+				break
+			}
+		}
+		fmt.Printf("batch              %d sets × %d keys via cached program: %v total, %v/set, all-sorted=%v\n",
+			*batch, nw.Nodes(), elapsed.Round(time.Microsecond),
+			(elapsed / time.Duration(*batch)).Round(time.Microsecond), sorted)
 	}
 	if *spmdMode {
 		mp, err := productsort.SortMessagePassing(nw, keys)

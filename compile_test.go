@@ -1,0 +1,109 @@
+package productsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"productsort/internal/schedule"
+)
+
+// TestCompiledNetworkSort: the compiled path returns the same result as
+// the (observer-forced) direct path, and repeated Sort calls on one
+// network perform zero schedule construction after the first.
+func TestCompiledNetworkSort(t *testing.T) {
+	schedule.ResetCache()
+	defer schedule.ResetCache()
+	nw, err := Grid(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]Key, nw.Nodes())
+	for i := range keys {
+		keys[i] = Key(rng.Intn(200))
+	}
+
+	// Direct path (observer forces the live machine).
+	s, err := NewSorter(WithObserver(func(string, []Key) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Sort(nw, append([]Key(nil), keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds() != want.Rounds {
+		t.Errorf("compiled rounds %d != direct %d", c.Rounds(), want.Rounds)
+	}
+	got, err := c.Sort(append([]Key(nil), keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.S2Phases != want.S2Phases || got.Sweeps != want.Sweeps {
+		t.Errorf("compiled result %+v != direct %+v", got, want)
+	}
+	for i := range want.Keys {
+		if got.Keys[i] != want.Keys[i] {
+			t.Fatalf("key %d: got %d want %d", i, got.Keys[i], want.Keys[i])
+		}
+	}
+
+	// Repeated sorts (plain Sort included) must not rebuild the schedule.
+	compiles := schedule.Stats().Compiles
+	for i := 0; i < 5; i++ {
+		if _, err := Sort(nw, append([]Key(nil), keys...)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Sort(append([]Key(nil), keys...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := schedule.Stats().Compiles; got != compiles {
+		t.Errorf("repeated sorts recompiled: %d constructions, want %d", got, compiles)
+	}
+}
+
+// TestSortBatch pushes several key sets through one compiled program
+// and verifies each ends sorted.
+func TestSortBatch(t *testing.T) {
+	nw, err := Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const m = 9
+	batch := make([][]Key, m)
+	want := make([][]Key, m)
+	for i := range batch {
+		batch[i] = make([]Key, nw.Nodes())
+		for j := range batch[i] {
+			batch[i][j] = Key(rng.Intn(100))
+		}
+		want[i] = append([]Key(nil), batch[i]...)
+		sort.Slice(want[i], func(a, b int) bool { return want[i][a] < want[i][b] })
+	}
+	if err := c.SortBatch(batch, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		for j := range batch[i] {
+			if batch[i][j] != want[i][j] {
+				t.Fatalf("batch %d key %d: got %d want %d", i, j, batch[i][j], want[i][j])
+			}
+		}
+	}
+	// Shape errors surface before any work.
+	if err := c.SortBatch([][]Key{make([]Key, 3)}, 2); err == nil {
+		t.Error("want error for wrong key count")
+	}
+}

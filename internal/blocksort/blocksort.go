@@ -18,6 +18,8 @@ import (
 	"sort"
 
 	"productsort/internal/mergenet"
+	"productsort/internal/product"
+	"productsort/internal/schedule"
 	"productsort/internal/simnet"
 )
 
@@ -66,6 +68,14 @@ func Sort(s *mergenet.Schedule, keys []Key, blockSize int) (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// SortProgram is the blocked-sort backend of the compiled schedule IR:
+// it re-expresses the cached phase program in snake coordinates of net
+// and replays it with merge-split operators. Same parallel rounds as
+// the one-key-per-node sort, blockSize keys per exchange.
+func SortProgram(prog *schedule.Program, net *product.Network, keys []Key, blockSize int) (Stats, error) {
+	return Sort(mergenet.FromProgram(prog, net), keys, blockSize)
 }
 
 // mergeSplit merges two sorted blocks and splits the result: lo receives

@@ -8,6 +8,8 @@ import (
 
 	"productsort/internal/graph"
 	"productsort/internal/mergenet"
+	"productsort/internal/product"
+	"productsort/internal/schedule"
 )
 
 func randomKeys(n int, seed int64) []Key {
@@ -181,5 +183,31 @@ func BenchmarkBlocksort64x16(b *testing.B) {
 		if _, err := Sort(s, buf, 16); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSortProgramMatchesScheduleSort: the program-consuming entry point
+// sorts identically to the schedule-consuming one.
+func TestSortProgramMatchesScheduleSort(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	prog, err := schedule.Compile(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bs = 5
+	keys := randomKeys(net.Nodes()*bs, 7)
+	want := append([]Key(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	st, err := SortProgram(prog, net, keys, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("key %d: got %d want %d", i, keys[i], want[i])
+		}
+	}
+	if st.Rounds != prog.Depth() {
+		t.Errorf("rounds = %d, want program depth %d", st.Rounds, prog.Depth())
 	}
 }

@@ -47,7 +47,7 @@ type Sorter struct {
 	Engine sort2d.Engine
 	// Observer, when non-nil, is invoked after every major stage with a
 	// description; used to trace the paper's worked example.
-	Observer func(stage string, m *simnet.Machine)
+	Observer func(stage string, m sort2d.Machine)
 }
 
 // New returns a Sorter with the given engine (nil selects sort2d.Auto).
@@ -70,7 +70,7 @@ func New(engine sort2d.Engine) *Sorter {
 // exactly when N_k ≤ N_{ℓ+1} for every level — i.e. nonincreasing
 // radices above dimension 1. Sort panics otherwise; the public API
 // validates constructions up front.
-func (s *Sorter) Sort(m *simnet.Machine) {
+func (s *Sorter) Sort(m sort2d.Machine) {
 	r := m.Net().R()
 	switch {
 	case r < 1:
@@ -95,14 +95,14 @@ func (s *Sorter) Sort(m *simnet.Machine) {
 // Precondition: for every value u, the keys of each slab with digit u at
 // dimension k are nondecreasing in the slab's local snake order over
 // dimensions 1..k-1.
-func (s *Sorter) Merge(m *simnet.Machine, k int) {
+func (s *Sorter) Merge(m sort2d.Machine, k int) {
 	s.merge(m, dimRange(k), false)
 }
 
 // MergeSkipTopClean performs Merge but omits the outermost Step 4, so
 // the keys are left in the "almost sorted" state after Step 3. Used to
 // measure the dirty area of Lemma 1 experimentally.
-func (s *Sorter) MergeSkipTopClean(m *simnet.Machine, k int) {
+func (s *Sorter) MergeSkipTopClean(m sort2d.Machine, k int) {
 	s.merge(m, dimRange(k), true)
 }
 
@@ -111,7 +111,7 @@ func (s *Sorter) MergeSkipTopClean(m *simnet.Machine, k int) {
 // dimension of Step 1), dims[len-1] is the merge dimension carrying the
 // N input slabs. Steps 1 and 3 are free re-interpretations of storage;
 // only Step 2's base case and Step 4 move keys.
-func (s *Sorter) merge(m *simnet.Machine, dims []int, skipClean bool) {
+func (s *Sorter) merge(m sort2d.Machine, dims []int, skipClean bool) {
 	k := len(dims)
 	if k < 2 {
 		panic("core: merge needs at least two dimensions")
@@ -134,7 +134,7 @@ func (s *Sorter) merge(m *simnet.Machine, dims []int, skipClean bool) {
 
 // cleanDirty is Step 4 of the merge on the given dimension list: it
 // repairs the ≤N² dirty window left after interleaving.
-func (s *Sorter) cleanDirty(m *simnet.Machine, dims []int) {
+func (s *Sorter) cleanDirty(m sort2d.Machine, dims []int) {
 	net := m.Net()
 	dimA, dimB := dims[0], dims[1]
 	groupDims := dims[2:]
@@ -150,7 +150,7 @@ func (s *Sorter) cleanDirty(m *simnet.Machine, dims []int) {
 // snake-consecutive PG_2 subgraphs: pairs (g, g+1) of group indices with
 // g ≡ phase (mod 2). Partner nodes share their dimension-{dimA,dimB}
 // digits; the smaller key moves to group g.
-func (s *Sorter) transposeSweep(m *simnet.Machine, dims []int, phase int) {
+func (s *Sorter) transposeSweep(m sort2d.Machine, dims []int, phase int) {
 	net := m.Net()
 	dimA, dimB := dims[0], dims[1]
 	nA, nB := net.Radix(dimA), net.Radix(dimB)
@@ -185,7 +185,7 @@ func (s *Sorter) transposeSweep(m *simnet.Machine, dims []int, phase int) {
 // transposition on the node labels: N rounds, each a compare-exchange
 // sweep between label-consecutive nodes (routed if G is not
 // Hamiltonian-labeled). The paper assumes r ≥ 2; this completes the API.
-func (s *Sorter) sort1D(m *simnet.Machine) {
+func (s *Sorter) sort1D(m sort2d.Machine) {
 	n := m.Net().N()
 	for t := 0; t < n; t++ {
 		var pairs [][2]int
@@ -196,7 +196,7 @@ func (s *Sorter) sort1D(m *simnet.Machine) {
 	}
 }
 
-func (s *Sorter) observe(stage string, m *simnet.Machine) {
+func (s *Sorter) observe(stage string, m sort2d.Machine) {
 	if s.Observer != nil {
 		s.Observer(stage, m)
 	}

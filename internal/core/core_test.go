@@ -417,7 +417,7 @@ func TestObserverCalled(t *testing.T) {
 	m := simnet.MustNew(net, randomKeys(27, 4))
 	s := New(nil)
 	var stages []string
-	s.Observer = func(stage string, _ *simnet.Machine) { stages = append(stages, stage) }
+	s.Observer = func(stage string, _ sort2d.Machine) { stages = append(stages, stage) }
 	s.Sort(m)
 	if len(stages) != 2 { // initial sort + merge along dim 3
 		t.Errorf("observer called %d times want 2: %v", len(stages), stages)

@@ -5,8 +5,8 @@
 // specific network … it does not even matter whether the algorithm is
 // performed sequentially or in parallel", and Section 3.2 sketches how
 // the same recursion yields sorting networks. This package makes that
-// concrete: running the algorithm once against a recording executor
-// yields the full phase list; re-expressed in snake coordinates it is a
+// concrete as a backend of the compiled schedule IR (package schedule):
+// the cached phase program, re-expressed in snake coordinates, is a
 // sorting network for N^r inputs that can be applied to any slice,
 // compared against Batcher's constructions, or replayed with merge-split
 // operators to sort far more keys than processors (package blocksort).
@@ -17,9 +17,9 @@ import (
 	"fmt"
 
 	"productsort/internal/baseline"
-	"productsort/internal/core"
 	"productsort/internal/graph"
 	"productsort/internal/product"
+	"productsort/internal/schedule"
 	"productsort/internal/simnet"
 	"productsort/internal/sort2d"
 )
@@ -50,32 +50,39 @@ func Extract(g *graph.Graph, r int, engine sort2d.Engine) (*Schedule, error) {
 	return ExtractNet(net, engine)
 }
 
-// ExtractNet records the schedule for an existing product network
-// (heterogeneous networks included).
+// ExtractNet returns the schedule for an existing product network
+// (heterogeneous networks included). The underlying phase program comes
+// from the compiled-schedule cache, so repeated extractions on one
+// topology never re-run the algorithm.
 func ExtractNet(net *product.Network, engine sort2d.Engine) (*Schedule, error) {
-	m, err := simnet.New(net, make([]simnet.Key, net.Nodes()))
+	prog, err := schedule.Compile(net, engine)
 	if err != nil {
 		return nil, err
 	}
-	rec := &simnet.RecorderExec{Inner: simnet.SequentialExec{}}
-	m.SetExecutor(rec)
-	core.New(engine).Sort(m)
+	return FromProgram(prog, net), nil
+}
 
+// FromProgram re-expresses a compiled phase program in snake
+// coordinates of net (which must be structurally identical to the
+// network the program was compiled for — the usual case is passing the
+// same network).
+func FromProgram(prog *schedule.Program, net *product.Network) *Schedule {
 	// Convert node ids to snake positions so the network sorts plain
 	// slices into index order.
 	pos := make([]int, net.Nodes())
 	for id := range pos {
 		pos[id] = net.SnakePos(id)
 	}
-	phases := make([][][2]int, len(rec.Phases))
-	for i, ph := range rec.Phases {
+	node := prog.Phases()
+	phases := make([][][2]int, len(node))
+	for i, ph := range node {
 		out := make([][2]int, len(ph))
 		for j, pr := range ph {
 			out[j] = [2]int{pos[pr[0]], pos[pr[1]]}
 		}
 		phases[i] = out
 	}
-	return &Schedule{Network: net.Name(), Inputs: net.Nodes(), Phases: phases}, nil
+	return &Schedule{Network: net.Name(), Inputs: net.Nodes(), Phases: phases}
 }
 
 // NodePhases records the schedule in node-id space (rather than snake
@@ -91,17 +98,15 @@ func NodePhases(g *graph.Graph, r int, engine sort2d.Engine) ([][][2]int, *produ
 	return phases, net, err
 }
 
-// NodePhasesNet records the node-space schedule for an existing product
-// network (heterogeneous networks included).
+// NodePhasesNet returns the node-space schedule for an existing product
+// network (heterogeneous networks included), served from the
+// compiled-schedule cache.
 func NodePhasesNet(net *product.Network, engine sort2d.Engine) ([][][2]int, error) {
-	m, err := simnet.New(net, make([]simnet.Key, net.Nodes()))
+	prog, err := schedule.Compile(net, engine)
 	if err != nil {
 		return nil, err
 	}
-	rec := &simnet.RecorderExec{Inner: simnet.SequentialExec{}}
-	m.SetExecutor(rec)
-	core.New(engine).Sort(m)
-	return rec.Phases, nil
+	return prog.Phases(), nil
 }
 
 // ReplayOnMachine executes node-space phases on a machine: each phase

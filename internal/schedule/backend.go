@@ -1,0 +1,152 @@
+// Backends: consumers that run a compiled program against keys.
+
+package schedule
+
+import (
+	"fmt"
+	"sync"
+
+	"productsort/internal/simnet"
+)
+
+// Backend executes a compiled program over a key slice indexed by node
+// id, sorting it in place, and returns the replay's clock. Because the
+// program is oblivious, the clock equals prog.Clock() for every
+// conforming backend; returning it keeps the interface honest about
+// what a run cost.
+type Backend interface {
+	Run(prog *Program, keys []simnet.Key) (simnet.Clock, error)
+}
+
+// ExecBackend is the fast replay backend: it applies each exchange op
+// with a simnet.Executor and charges the precomputed costs — no
+// validation, no routing-plan lookups, no allocation beyond what the
+// executor needs. It is the hot path behind CompiledNetwork.Sort.
+type ExecBackend struct {
+	// Exec applies phases; nil means simnet.SequentialExec.
+	Exec simnet.Executor
+}
+
+// Run implements Backend.
+func (e ExecBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, error) {
+	if len(keys) != prog.net.Nodes() {
+		return simnet.Clock{}, fmt.Errorf("schedule: %d keys for %d nodes", len(keys), prog.net.Nodes())
+	}
+	exec := e.Exec
+	if exec == nil {
+		exec = simnet.SequentialExec{}
+	}
+	ops := prog.ops
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpCompareExchange, OpRoutedExchange:
+			exec.CompareExchange(keys, ops[i].Pairs)
+		}
+	}
+	return prog.clock, nil
+}
+
+// MachineBackend replays the program through a live simnet.Machine,
+// letting the machine re-derive every round charge from scratch. It is
+// the slow cross-check backend: tests assert its clock matches the
+// program's precomputed one.
+type MachineBackend struct {
+	// Exec is the machine's executor; nil means the default.
+	Exec simnet.Executor
+}
+
+// Run implements Backend.
+func (mb MachineBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, error) {
+	m, err := simnet.New(prog.net, keys)
+	if err != nil {
+		return simnet.Clock{}, err
+	}
+	if mb.Exec != nil {
+		m.SetExecutor(mb.Exec)
+	}
+	ReplayOnMachine(prog, m)
+	copy(keys, m.Keys())
+	return m.Clock(), nil
+}
+
+// ReplayOnMachine re-executes every op of the program on a live
+// machine through the machine's own accounting API, so the machine's
+// clock is rebuilt from first principles (and can be compared with the
+// program's precomputed clock).
+func ReplayOnMachine(prog *Program, m *simnet.Machine) {
+	for i := range prog.ops {
+		op := &prog.ops[i]
+		switch op.Kind {
+		case OpCompareExchange, OpRoutedExchange:
+			m.CompareExchange(op.Pairs)
+		case OpIdle:
+			m.IdleRound()
+		case OpBeginS2:
+			m.BeginS2()
+		case OpEndS2:
+			m.EndS2()
+		case OpS2Marker:
+			m.AddS2Phase()
+		case OpSweepMarker:
+			m.AddSweepPhase()
+		}
+	}
+}
+
+// RunBatch sorts every key set of batch (each indexed by node id, in
+// place) through one compiled program with a pool of workers — the
+// many-sorts-one-topology throughput mode. workers < 1 selects
+// len(batch) capped at 16. Each worker replays sequentially; the
+// parallelism is across independent key sets, which is where batch
+// throughput lives.
+func RunBatch(prog *Program, batch [][]simnet.Key, workers int) error {
+	for i, keys := range batch {
+		if len(keys) != prog.net.Nodes() {
+			return fmt.Errorf("schedule: batch[%d] has %d keys for %d nodes", i, len(keys), prog.net.Nodes())
+		}
+	}
+	if workers < 1 {
+		workers = len(batch)
+		if workers > 16 {
+			workers = 16
+		}
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		be := ExecBackend{}
+		for _, keys := range batch {
+			if _, err := be.Run(prog, keys); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan []simnet.Key)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			be := ExecBackend{}
+			for keys := range next {
+				if _, err := be.Run(prog, keys); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, keys := range batch {
+		next <- keys
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Compilation entry points and the process-wide program cache.
+
+package schedule
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"productsort/internal/core"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/sort2d"
+)
+
+// Signature returns the canonical cache key of a full-sort program:
+// the S_2 engine name plus one structural signature per dimension
+// (factor size and labeled edge list — the labeling is part of the
+// signature because it decides which compare-exchanges are single-hop).
+// Structurally identical networks share a signature regardless of how
+// or where their factor graphs were constructed.
+func Signature(net *product.Network, engineName string) string {
+	return signature(net, engineName, "sort")
+}
+
+func signature(net *product.Network, engineName, mode string) string {
+	var sb strings.Builder
+	sb.WriteString(mode)
+	sb.WriteByte('|')
+	sb.WriteString(engineName)
+	// Factors repeat (homogeneous networks reuse one *graph.Graph);
+	// memoize the per-graph signature by pointer within this call.
+	memo := make(map[*graph.Graph]string, net.R())
+	for dim := 1; dim <= net.R(); dim++ {
+		g := net.FactorAt(dim)
+		s, ok := memo[g]
+		if !ok {
+			s = graphSignature(g)
+			memo[g] = s
+		}
+		sb.WriteByte('|')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// graphSignature encodes a factor graph's structure-with-labeling: node
+// count followed by the sorted edge list, varint-packed.
+func graphSignature(g *graph.Graph) string {
+	edges := g.Edges()
+	norm := make([][2]int, len(edges))
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		norm[i] = [2]int{a, b}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	buf := make([]byte, 0, 2+4*len(norm))
+	buf = binary.AppendUvarint(buf, uint64(g.N()))
+	for _, e := range norm {
+		buf = binary.AppendUvarint(buf, uint64(e[0]))
+		buf = binary.AppendUvarint(buf, uint64(e[1]))
+	}
+	return string(buf)
+}
+
+// cacheEntry is a once-guarded cache slot: concurrent compilations of
+// the same signature wait for a single build.
+type cacheEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+var (
+	cache        sync.Map // signature -> *cacheEntry
+	statHits     atomic.Int64
+	statMisses   atomic.Int64
+	statCompiles atomic.Int64
+)
+
+// CacheStats reports the cumulative behaviour of the program cache.
+type CacheStats struct {
+	// Hits counts Compile calls answered by an existing cache entry.
+	Hits int64
+	// Misses counts Compile calls that created a new cache entry.
+	Misses int64
+	// Compiles counts actual schedule constructions performed — the
+	// number every warm-path guarantee is stated in terms of: repeated
+	// sorts on one topology leave it unchanged.
+	Compiles int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func Stats() CacheStats {
+	return CacheStats{
+		Hits:     statHits.Load(),
+		Misses:   statMisses.Load(),
+		Compiles: statCompiles.Load(),
+	}
+}
+
+// ResetCache drops every cached program and zeroes the counters (used
+// by tests and cold-start benchmarks).
+func ResetCache() {
+	cache.Range(func(k, _ any) bool {
+		cache.Delete(k)
+		return true
+	})
+	statHits.Store(0)
+	statMisses.Store(0)
+	statCompiles.Store(0)
+}
+
+// Compile returns the full-sort phase program for net with the given
+// S_2 engine (nil selects sort2d.Auto), building it at most once per
+// canonical network signature for the life of the process. The call is
+// concurrency-safe; concurrent compilations of the same topology
+// coalesce into a single build.
+func Compile(net *product.Network, engine sort2d.Engine) (*Program, error) {
+	if engine == nil {
+		engine = sort2d.Auto{}
+	}
+	sig := signature(net, engine.Name(), "sort")
+	return compile(sig, net, engine, func(s *core.Sorter, b *Builder) {
+		s.Sort(b)
+	})
+}
+
+// CompileMerge returns the phase program of one multiway merge along
+// dimension k (Lemma 3), cached like Compile.
+func CompileMerge(net *product.Network, engine sort2d.Engine, k int) (*Program, error) {
+	if engine == nil {
+		engine = sort2d.Auto{}
+	}
+	sig := signature(net, engine.Name(), fmt.Sprintf("merge:%d", k))
+	return compile(sig, net, engine, func(s *core.Sorter, b *Builder) {
+		s.Merge(b, k)
+	})
+}
+
+// compile resolves sig through the cache, running drive against a fresh
+// Builder on a miss.
+func compile(sig string, net *product.Network, engine sort2d.Engine, drive func(*core.Sorter, *Builder)) (*Program, error) {
+	v, loaded := cache.Load(sig)
+	if !loaded {
+		v, loaded = cache.LoadOrStore(sig, &cacheEntry{})
+	}
+	if loaded {
+		statHits.Add(1)
+	} else {
+		statMisses.Add(1)
+	}
+	entry := v.(*cacheEntry)
+	entry.once.Do(func() {
+		entry.prog, entry.err = build(sig, net, engine, drive)
+	})
+	return entry.prog, entry.err
+}
+
+// build performs one schedule construction, converting the algorithm's
+// validation panics (e.g. the heterogeneous radix condition) to errors.
+func build(sig string, net *product.Network, engine sort2d.Engine, drive func(*core.Sorter, *Builder)) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("schedule: compile %s: %v", net.Name(), r)
+		}
+	}()
+	statCompiles.Add(1)
+	b := NewBuilder(net)
+	drive(core.New(engine), b)
+	return b.Program(engine.Name(), sig), nil
+}

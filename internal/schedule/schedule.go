@@ -1,0 +1,244 @@
+// Package schedule compiles the multiway-merge sorting algorithm into a
+// typed, reusable phase program — the repo's intermediate representation
+// for oblivious compare-exchange schedules.
+//
+// The paper's algorithm is oblivious (Section 3.2): its schedule depends
+// only on the network, never on the keys. That makes the schedule a
+// compile-once artifact: Compile runs the algorithm a single time
+// against a recording Builder, prices every phase with the same cost
+// model the live simulator uses (single-hop phases cost one round,
+// routed phases the measured exchange-routing cost), and stores the
+// result in a process-wide cache keyed by the network's canonical
+// structural signature. Every later sort on a structurally identical
+// network replays the cached program with zero schedule construction.
+//
+// The program is consumed by pluggable backends: the in-place executor
+// backend (package schedule), the live simulator replay, the comparator
+// network view (package mergenet), merge-split block sorting (package
+// blocksort), and the message-passing SPMD engine (package spmd). All of
+// them observe identical round accounting because the charges are part
+// of the IR, precomputed per Lemma 3 / Theorem 1.
+package schedule
+
+import (
+	"fmt"
+
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+// OpKind discriminates the typed ops of a compiled phase program.
+type OpKind uint8
+
+const (
+	// OpCompareExchange is a parallel compare-exchange phase whose pairs
+	// are all product-network edges; it costs exactly one round.
+	OpCompareExchange OpKind = iota
+	// OpRoutedExchange is a compare-exchange phase with at least one
+	// non-adjacent pair; its cost is the measured key-exchange routing
+	// charge (Section 4's permutation-routing fallback).
+	OpRoutedExchange
+	// OpIdle charges one round with no data movement: the oblivious
+	// schedule spends the synchronous step even when no processor has a
+	// partner.
+	OpIdle
+	// OpBeginS2 and OpEndS2 bracket the ops attributable to PG_2
+	// sorting, splitting Rounds into S2Rounds and SweepRounds.
+	OpBeginS2
+	OpEndS2
+	// OpS2Marker records one completed S_2 invocation ((r-1)² per sort,
+	// Theorem 1).
+	OpS2Marker
+	// OpSweepMarker records one completed inter-subgraph transposition
+	// sweep ((r-1)(r-2) per sort, Theorem 1).
+	OpSweepMarker
+)
+
+// String names the op kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompareExchange:
+		return "compare-exchange"
+	case OpRoutedExchange:
+		return "routed-exchange"
+	case OpIdle:
+		return "idle"
+	case OpBeginS2:
+		return "begin-s2"
+	case OpEndS2:
+		return "end-s2"
+	case OpS2Marker:
+		return "s2-marker"
+	case OpSweepMarker:
+		return "sweep-marker"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one instruction of a compiled program.
+type Op struct {
+	// Kind discriminates the instruction.
+	Kind OpKind
+	// Pairs holds the node-disjoint (lo, hi) node-id pairs of an
+	// exchange op; nil for idle rounds and markers.
+	Pairs [][2]int
+	// Cost is the precomputed round charge (1 for single-hop exchanges
+	// and idle rounds, the routing charge for routed exchanges, 0 for
+	// markers).
+	Cost int
+}
+
+// Program is a compiled, immutable phase program for one network (and
+// one S_2 engine). It is safe for concurrent replay by any number of
+// backends; consumers must not mutate the ops.
+type Program struct {
+	net    *product.Network
+	engine string
+	sig    string
+	ops    []Op
+	clock  simnet.Clock
+}
+
+// Net returns the product network the program was compiled for. Cached
+// programs may be shared between structurally identical networks; the
+// returned network is the one the first compilation saw.
+func (p *Program) Net() *product.Network { return p.net }
+
+// Engine returns the name of the S_2 engine the program embeds.
+func (p *Program) Engine() string { return p.engine }
+
+// Signature returns the canonical cache signature the program is stored
+// under.
+func (p *Program) Signature() string { return p.sig }
+
+// Ops returns the program's instruction stream. The slice and the pair
+// slices inside are shared — read only.
+func (p *Program) Ops() []Op { return p.ops }
+
+// Clock returns the precomputed counters of one full replay: because
+// the schedule is oblivious, every execution of the program observes
+// exactly these rounds and phase counts, so backends report them
+// without re-deriving costs.
+func (p *Program) Clock() simnet.Clock { return p.clock }
+
+// Rounds returns the total parallel round charge of one replay.
+func (p *Program) Rounds() int { return p.clock.Rounds }
+
+// Depth returns the number of round-consuming ops (exchange phases plus
+// idle rounds).
+func (p *Program) Depth() int {
+	d := 0
+	for i := range p.ops {
+		switch p.ops[i].Kind {
+		case OpCompareExchange, OpRoutedExchange, OpIdle:
+			d++
+		}
+	}
+	return d
+}
+
+// Size returns the total comparator count of one replay.
+func (p *Program) Size() int { return p.clock.CompareOps }
+
+// Phases returns the non-empty compare-exchange phases in node-id
+// space, in execution order — the form the recording executor used to
+// produce and that package mergenet re-expresses in snake coordinates.
+// The returned slices are fresh copies.
+func (p *Program) Phases() [][][2]int {
+	var phases [][][2]int
+	for i := range p.ops {
+		op := &p.ops[i]
+		if op.Kind != OpCompareExchange && op.Kind != OpRoutedExchange {
+			continue
+		}
+		cp := make([][2]int, len(op.Pairs))
+		copy(cp, op.Pairs)
+		phases = append(phases, cp)
+	}
+	return phases
+}
+
+// Builder records the algorithm's emitted phases into a Program. It
+// implements sort2d.Machine, so core.Sorter drives it exactly as it
+// drives a live simulator — same code path, no keys.
+type Builder struct {
+	net   *product.Network
+	cost  *simnet.CostModel
+	ops   []Op
+	clock simnet.Clock
+	inS2  bool
+}
+
+// NewBuilder returns an empty builder for net.
+func NewBuilder(net *product.Network) *Builder {
+	return &Builder{net: net, cost: simnet.NewCostModel()}
+}
+
+// Net implements sort2d.Machine.
+func (b *Builder) Net() *product.Network { return b.net }
+
+// CompareExchange implements sort2d.Machine: it validates and prices
+// the phase with the simulator's cost model and records it as a typed
+// op. Empty phases are ignored, mirroring the live machine.
+func (b *Builder) CompareExchange(pairs [][2]int) {
+	if len(pairs) == 0 {
+		return
+	}
+	cp := make([][2]int, len(pairs))
+	copy(cp, pairs)
+	cost := b.cost.PhaseCost(b.net, cp)
+	kind := OpCompareExchange
+	if cost > 1 {
+		kind = OpRoutedExchange
+		b.clock.RoutedPhases++
+	}
+	b.ops = append(b.ops, Op{Kind: kind, Pairs: cp, Cost: cost})
+	b.clock.ComparePhases++
+	b.clock.CompareOps += len(cp)
+	b.charge(cost)
+}
+
+// IdleRound implements sort2d.Machine.
+func (b *Builder) IdleRound() {
+	b.ops = append(b.ops, Op{Kind: OpIdle, Cost: 1})
+	b.charge(1)
+}
+
+// BeginS2 implements sort2d.Machine.
+func (b *Builder) BeginS2() {
+	b.inS2 = true
+	b.ops = append(b.ops, Op{Kind: OpBeginS2})
+}
+
+// EndS2 implements sort2d.Machine.
+func (b *Builder) EndS2() {
+	b.inS2 = false
+	b.ops = append(b.ops, Op{Kind: OpEndS2})
+}
+
+// AddS2Phase implements sort2d.Machine.
+func (b *Builder) AddS2Phase() {
+	b.clock.S2Phases++
+	b.ops = append(b.ops, Op{Kind: OpS2Marker})
+}
+
+// AddSweepPhase implements sort2d.Machine.
+func (b *Builder) AddSweepPhase() {
+	b.clock.SweepPhases++
+	b.ops = append(b.ops, Op{Kind: OpSweepMarker})
+}
+
+// charge accrues a round cost with S2/sweep attribution.
+func (b *Builder) charge(cost int) {
+	b.clock.Rounds += cost
+	if b.inS2 {
+		b.clock.S2Rounds += cost
+	} else {
+		b.clock.SweepRounds += cost
+	}
+}
+
+// Program freezes the builder into an immutable program.
+func (b *Builder) Program(engine, sig string) *Program {
+	return &Program{net: b.net, engine: engine, sig: sig, ops: b.ops, clock: b.clock}
+}

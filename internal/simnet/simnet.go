@@ -14,9 +14,12 @@
 package simnet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"productsort/internal/graph"
 	"productsort/internal/product"
@@ -51,12 +54,11 @@ type Clock struct {
 type Machine struct {
 	net   *product.Network
 	keys  []Key
-	plans map[*graph.Graph]*routing.Plan // one per distinct factor
+	cost  *CostModel
 	clock Clock
 	exec  Executor
 
-	inS2      bool // attribute current rounds to S2Rounds
-	costCache map[costKey]int
+	inS2 bool // attribute current rounds to S2Rounds
 }
 
 // costKey identifies a cached routed-exchange cost: the factor graph it
@@ -64,6 +66,128 @@ type Machine struct {
 type costKey struct {
 	g   *graph.Graph
 	sig string
+}
+
+// CostModel validates compare-exchange phases and prices them in
+// parallel communication rounds. It owns the per-factor routing plans
+// and a memo of routed-exchange costs, so it can be shared between a
+// live Machine and the schedule compiler (package schedule), which must
+// charge phases identically. A CostModel is not safe for concurrent use.
+type CostModel struct {
+	plans     map[*graph.Graph]*routing.Plan
+	costCache map[costKey]int
+}
+
+// NewCostModel returns an empty cost model.
+func NewCostModel() *CostModel {
+	return &CostModel{
+		plans:     make(map[*graph.Graph]*routing.Plan),
+		costCache: make(map[costKey]int),
+	}
+}
+
+// PlanFor returns (building lazily) the routing plan for a factor graph.
+func (c *CostModel) PlanFor(g *graph.Graph) *routing.Plan {
+	if p, ok := c.plans[g]; ok {
+		return p
+	}
+	p := routing.NewPlan(g)
+	c.plans[g] = p
+	return p
+}
+
+// PhaseCost validates the pairs of one compare-exchange phase on net and
+// returns the round charge: one round when every pair is an edge of the
+// product network, otherwise the maximum measured key-exchange routing
+// cost over the G-subgraphs involved (disjoint subgraphs run in
+// parallel). Pairs must be node-disjoint and each pair must differ in
+// exactly one dimension; violations panic, since they indicate an
+// algorithm bug rather than bad input.
+func (c *CostModel) PhaseCost(net *product.Network, pairs [][2]int) int {
+	busy := make(map[int]bool, 2*len(pairs))
+	allAdjacent := true
+	// Factor-level exchange sets keyed by (dimension, subgraph base id).
+	type subKey struct{ dim, base int }
+	subPairs := make(map[subKey][][2]int)
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a == b {
+			panic("simnet: degenerate compare-exchange pair")
+		}
+		if busy[a] || busy[b] {
+			panic("simnet: overlapping compare-exchange pairs")
+		}
+		busy[a], busy[b] = true, true
+		dim := differingDim(net, a, b)
+		da, db := net.Digit(a, dim), net.Digit(b, dim)
+		if !net.FactorAt(dim).HasEdge(da, db) {
+			allAdjacent = false
+		}
+		k := subKey{dim, net.SetDigit(a, dim, 0)}
+		subPairs[k] = append(subPairs[k], [2]int{da, db})
+	}
+	if allAdjacent {
+		return 1
+	}
+	worst := 1
+	for k, fp := range subPairs {
+		cost := c.exchangeCost(net.FactorAt(k.dim), fp)
+		if cost > worst {
+			worst = cost
+		}
+	}
+	return worst
+}
+
+// exchangeCost measures (and caches) the routing cost of a factor-level
+// pairwise key exchange on the given factor graph. The cache key encodes
+// each endpoint with a varint so factors with ≥256 nodes cannot alias
+// (a plain byte cast would truncate ids and corrupt the cache).
+func (c *CostModel) exchangeCost(g *graph.Graph, fp [][2]int) int {
+	norm := make([][2]int, len(fp))
+	for i, pr := range fp {
+		a, b := pr[0], pr[1]
+		if a > b {
+			a, b = b, a
+		}
+		norm[i] = [2]int{a, b}
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	sig := make([]byte, 0, 4*len(norm))
+	for _, pr := range norm {
+		sig = binary.AppendVarint(sig, int64(pr[0]))
+		sig = binary.AppendVarint(sig, int64(pr[1]))
+	}
+	key := costKey{g: g, sig: string(sig)}
+	if cost, ok := c.costCache[key]; ok {
+		return cost
+	}
+	cost := c.PlanFor(g).ExchangeRounds(norm)
+	c.costCache[key] = cost
+	return cost
+}
+
+// differingDim returns the unique dimension where a and b differ, or
+// panics if they differ in zero or more than one dimension.
+func differingDim(net *product.Network, a, b int) int {
+	dim := 0
+	for d := 1; d <= net.R(); d++ {
+		if net.Digit(a, d) != net.Digit(b, d) {
+			if dim != 0 {
+				panic(fmt.Sprintf("simnet: nodes %d and %d differ in more than one dimension", a, b))
+			}
+			dim = d
+		}
+	}
+	if dim == 0 {
+		panic(fmt.Sprintf("simnet: nodes %d and %d identical", a, b))
+	}
+	return dim
 }
 
 // Executor applies a compare-exchange phase to the key array. Pairs are
@@ -88,19 +212,40 @@ func (SequentialExec) CompareExchange(keys []Key, pairs [][2]int) {
 // GoroutineExec executes each phase with one goroutine per endpoint,
 // exchanging keys over channels exactly as two communicating processors
 // would. It exists to demonstrate and test that phases are data-parallel;
-// results are identical to SequentialExec.
-type GoroutineExec struct{}
+// results are identical to SequentialExec. Goroutine fan-out is capped
+// by a semaphore (admitting whole pairs, so partners are always
+// co-resident and cannot deadlock) — large phases no longer spawn two
+// goroutines per pair all at once.
+type GoroutineExec struct {
+	// MaxPairs bounds the pairs in flight; values < 1 mean
+	// 2·runtime.GOMAXPROCS(0).
+	MaxPairs int
+}
 
 // CompareExchange implements Executor with message-passing goroutines.
-func (GoroutineExec) CompareExchange(keys []Key, pairs [][2]int) {
+func (e GoroutineExec) CompareExchange(keys []Key, pairs [][2]int) {
+	maxPairs := e.MaxPairs
+	if maxPairs < 1 {
+		maxPairs = 2 * runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, maxPairs)
 	var wg sync.WaitGroup
 	for _, pr := range pairs {
+		sem <- struct{}{} // admit the pair: both endpoints run together
 		lo, hi := pr[0], pr[1]
 		a2b := make(chan Key, 1)
 		b2a := make(chan Key, 1)
+		left := new(atomic.Int32)
+		left.Store(2)
+		release := func() {
+			if left.Add(-1) == 0 {
+				<-sem
+			}
+		}
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
+			defer release()
 			mine := keys[lo]
 			a2b <- mine
 			theirs := <-b2a
@@ -110,6 +255,7 @@ func (GoroutineExec) CompareExchange(keys []Key, pairs [][2]int) {
 		}()
 		go func() {
 			defer wg.Done()
+			defer release()
 			mine := keys[hi]
 			b2a <- mine
 			theirs := <-a2b
@@ -125,8 +271,8 @@ func (GoroutineExec) CompareExchange(keys []Key, pairs [][2]int) {
 // worker pool — the wall-clock-oriented executor for large simulations.
 // Pairs within a phase are node-disjoint, so workers never contend.
 type ParallelExec struct {
-	// Workers is the pool size; values < 1 mean runtime.NumCPU-ish
-	// default of 4.
+	// Workers is the pool size; values < 1 mean runtime.GOMAXPROCS(0),
+	// i.e. one worker per schedulable CPU.
 	Workers int
 }
 
@@ -134,7 +280,7 @@ type ParallelExec struct {
 func (e ParallelExec) CompareExchange(keys []Key, pairs [][2]int) {
 	w := e.Workers
 	if w < 1 {
-		w = 4
+		w = runtime.GOMAXPROCS(0)
 	}
 	if len(pairs) < 2*w {
 		SequentialExec{}.CompareExchange(keys, pairs)
@@ -182,11 +328,10 @@ func New(net *product.Network, keys []Key) (*Machine, error) {
 		return nil, fmt.Errorf("simnet: %d keys for %d nodes", len(keys), net.Nodes())
 	}
 	m := &Machine{
-		net:       net,
-		keys:      append([]Key(nil), keys...),
-		plans:     make(map[*graph.Graph]*routing.Plan),
-		exec:      SequentialExec{},
-		costCache: make(map[costKey]int),
+		net:  net,
+		keys: append([]Key(nil), keys...),
+		cost: NewCostModel(),
+		exec: SequentialExec{},
 	}
 	return m, nil
 }
@@ -208,17 +353,7 @@ func (m *Machine) Net() *product.Network { return m.net }
 
 // Plan returns the routing plan of the dimension-1 factor (the only
 // factor for homogeneous networks).
-func (m *Machine) Plan() *routing.Plan { return m.planFor(m.net.Factor()) }
-
-// planFor returns (building lazily) the routing plan for a factor graph.
-func (m *Machine) planFor(g *graph.Graph) *routing.Plan {
-	if p, ok := m.plans[g]; ok {
-		return p
-	}
-	p := routing.NewPlan(g)
-	m.plans[g] = p
-	return p
-}
+func (m *Machine) Plan() *routing.Plan { return m.cost.PlanFor(m.net.Factor()) }
 
 // Keys returns a copy of the current key array, indexed by node id.
 func (m *Machine) Keys() []Key { return append([]Key(nil), m.keys...) }
@@ -273,7 +408,7 @@ func (m *Machine) CompareExchange(pairs [][2]int) {
 	if len(pairs) == 0 {
 		return
 	}
-	cost := m.phaseCost(pairs)
+	cost := m.cost.PhaseCost(m.net, pairs)
 	m.exec.CompareExchange(m.keys, pairs)
 	m.clock.ComparePhases++
 	m.clock.CompareOps += len(pairs)
@@ -286,91 +421,6 @@ func (m *Machine) CompareExchange(pairs [][2]int) {
 	if cost > 1 {
 		m.clock.RoutedPhases++
 	}
-}
-
-// phaseCost validates the pairs and computes the round charge.
-func (m *Machine) phaseCost(pairs [][2]int) int {
-	busy := make(map[int]bool, 2*len(pairs))
-	allAdjacent := true
-	// Factor-level exchange sets keyed by (dimension, subgraph base id).
-	type subKey struct{ dim, base int }
-	subPairs := make(map[subKey][][2]int)
-	for _, pr := range pairs {
-		a, b := pr[0], pr[1]
-		if a == b {
-			panic("simnet: degenerate compare-exchange pair")
-		}
-		if busy[a] || busy[b] {
-			panic("simnet: overlapping compare-exchange pairs")
-		}
-		busy[a], busy[b] = true, true
-		dim := m.differingDim(a, b)
-		da, db := m.net.Digit(a, dim), m.net.Digit(b, dim)
-		if !m.net.FactorAt(dim).HasEdge(da, db) {
-			allAdjacent = false
-		}
-		k := subKey{dim, m.net.SetDigit(a, dim, 0)}
-		subPairs[k] = append(subPairs[k], [2]int{da, db})
-	}
-	if allAdjacent {
-		return 1
-	}
-	worst := 1
-	for k, fp := range subPairs {
-		c := m.cachedExchangeCost(m.net.FactorAt(k.dim), fp)
-		if c > worst {
-			worst = c
-		}
-	}
-	return worst
-}
-
-// differingDim returns the unique dimension where a and b differ, or
-// panics if they differ in zero or more than one dimension.
-func (m *Machine) differingDim(a, b int) int {
-	dim := 0
-	for d := 1; d <= m.net.R(); d++ {
-		if m.net.Digit(a, d) != m.net.Digit(b, d) {
-			if dim != 0 {
-				panic(fmt.Sprintf("simnet: nodes %d and %d differ in more than one dimension", a, b))
-			}
-			dim = d
-		}
-	}
-	if dim == 0 {
-		panic(fmt.Sprintf("simnet: nodes %d and %d identical", a, b))
-	}
-	return dim
-}
-
-// cachedExchangeCost measures (and caches) the routing cost of a
-// factor-level pairwise key exchange on the given factor graph.
-func (m *Machine) cachedExchangeCost(g *graph.Graph, fp [][2]int) int {
-	norm := make([][2]int, len(fp))
-	for i, pr := range fp {
-		a, b := pr[0], pr[1]
-		if a > b {
-			a, b = b, a
-		}
-		norm[i] = [2]int{a, b}
-	}
-	sort.Slice(norm, func(i, j int) bool {
-		if norm[i][0] != norm[j][0] {
-			return norm[i][0] < norm[j][0]
-		}
-		return norm[i][1] < norm[j][1]
-	})
-	sig := make([]byte, 0, 2*len(norm))
-	for _, pr := range norm {
-		sig = append(sig, byte(pr[0]), byte(pr[1]))
-	}
-	key := costKey{g: g, sig: string(sig)}
-	if c, ok := m.costCache[key]; ok {
-		return c
-	}
-	c := m.planFor(g).ExchangeRounds(norm)
-	m.costCache[key] = c
-	return c
 }
 
 // SnakeKeys returns the keys read off in snake order of the whole

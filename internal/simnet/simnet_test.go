@@ -416,3 +416,87 @@ func TestHeteroPhaseCostPerDimension(t *testing.T) {
 		t.Errorf("star-dim pair not routed: %+v", c)
 	}
 }
+
+// TestExchangeCostCacheLargeFactor is a regression test for the routed-
+// exchange cost cache: keys used to encode factor node ids with byte()
+// casts, so on factors with ≥256 nodes the pair (2,260) aliased the pair
+// (2,4) and the cache returned the wrong (far too small) routing charge.
+func TestExchangeCostCacheLargeFactor(t *testing.T) {
+	net := product.MustNew(graph.Path(300), 1)
+	m := MustNew(net, make([]Key, net.Nodes()))
+	// Populate the cache with a short routed exchange: nodes 2 and 4 on
+	// the path are two hops apart.
+	m.CompareExchange([][2]int{{2, 4}})
+	short := m.Clock().Rounds
+	if short < 2 {
+		t.Fatalf("exchange (2,4) charged %d rounds, want >= 2", short)
+	}
+	m.ResetClock()
+	// The pair (2,260) is 258 hops apart. Under byte truncation its cache
+	// signature collided with (2,4) and it charged the short cost.
+	m.CompareExchange([][2]int{{2, 260}})
+	far := m.Clock().Rounds
+	if far <= short {
+		t.Fatalf("exchange (2,260) charged %d rounds, want > %d (cache key collision)", far, short)
+	}
+	if want := net.Dist(2, 260); far < want {
+		t.Errorf("exchange (2,260) charged %d rounds, want >= distance %d", far, want)
+	}
+}
+
+// TestParallelExecDefaultWorkers checks ParallelExec with the default
+// pool size sorts identically to SequentialExec on a large phase.
+func TestParallelExecDefaultWorkers(t *testing.T) {
+	net := product.MustNew(graph.Path(64), 2)
+	keys := make([]Key, net.Nodes())
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = Key(rng.Intn(1000))
+	}
+	mSeq := MustNew(net, keys)
+	mPar := MustNew(net, keys)
+	mPar.SetExecutor(ParallelExec{})
+	var pairs [][2]int
+	for a := 0; a+1 < 64; a += 2 {
+		for b := 0; b < 64; b++ {
+			x := net.SetDigit(net.SetDigit(0, 1, a), 2, b)
+			y := net.SetDigit(net.SetDigit(0, 1, a+1), 2, b)
+			pairs = append(pairs, [2]int{x, y})
+		}
+	}
+	mSeq.CompareExchange(pairs)
+	mPar.CompareExchange(pairs)
+	seq, par := mSeq.Keys(), mPar.Keys()
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("ParallelExec diverged from SequentialExec at node %d", i)
+		}
+	}
+}
+
+// TestGoroutineExecBoundedFanOut checks the capped executor still agrees
+// with the sequential one when the phase has far more pairs than the
+// semaphore admits at once.
+func TestGoroutineExecBoundedFanOut(t *testing.T) {
+	net := product.MustNew(graph.Path(128), 1)
+	keys := make([]Key, net.Nodes())
+	rng := rand.New(rand.NewSource(11))
+	for i := range keys {
+		keys[i] = Key(rng.Intn(1000))
+	}
+	mSeq := MustNew(net, keys)
+	mGor := MustNew(net, keys)
+	mGor.SetExecutor(GoroutineExec{MaxPairs: 3})
+	var pairs [][2]int
+	for a := 0; a+1 < 128; a += 2 {
+		pairs = append(pairs, [2]int{a, a + 1})
+	}
+	mSeq.CompareExchange(pairs)
+	mGor.CompareExchange(pairs)
+	seq, gor := mSeq.Keys(), mGor.Keys()
+	for i := range seq {
+		if seq[i] != gor[i] {
+			t.Fatalf("GoroutineExec diverged from SequentialExec at node %d", i)
+		}
+	}
+}

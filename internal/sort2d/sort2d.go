@@ -22,8 +22,33 @@ package sort2d
 import (
 	"fmt"
 
-	"productsort/internal/simnet"
+	"productsort/internal/product"
 )
+
+// Machine is the abstract synchronous machine that engines (and the
+// merge algorithm of package core) emit compare-exchange phases to. Two
+// implementations exist: the live simulator (*simnet.Machine), which
+// moves keys and charges rounds as phases arrive, and the schedule
+// recorder (*schedule.Builder), which compiles the oblivious phase
+// stream into a reusable program. The algorithm code is identical either
+// way — the schedule depends only on the network, never on the keys.
+type Machine interface {
+	// Net returns the product network the phases address.
+	Net() *product.Network
+	// CompareExchange performs (or records) one parallel phase of
+	// node-disjoint (lo, hi) pairs.
+	CompareExchange(pairs [][2]int)
+	// IdleRound charges one round with no data movement (the oblivious
+	// schedule spends the step even when no processor has a partner).
+	IdleRound()
+	// BeginS2 and EndS2 bracket rounds attributable to PG_2 sorting.
+	BeginS2()
+	EndS2()
+	// AddS2Phase records one completed S_2 invocation.
+	AddS2Phase()
+	// AddSweepPhase records one inter-subgraph transposition sweep.
+	AddSweepPhase()
+}
 
 // Engine sorts every PG_2 block spanned by two dimensions.
 type Engine interface {
@@ -42,7 +67,7 @@ type Engine interface {
 	// block-snake order where asc(base) is true and descending where
 	// false. It must process all blocks in lockstep and record exactly
 	// one S2 phase on the machine's clock.
-	Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool)
+	Sort(m Machine, dimA, dimB int, asc func(base int) bool)
 }
 
 // ascendingAll is the direction function for uniform ascending sorts.
@@ -80,7 +105,7 @@ func (Shearsort) RoundsAB(nA, nB int) int {
 }
 
 // Sort implements Engine.
-func (Shearsort) Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool) {
+func (Shearsort) Sort(m Machine, dimA, dimB int, asc func(base int) bool) {
 	net := m.Net()
 	dims := []int{dimA, dimB}
 	bases := net.BlockBases(dims)
@@ -98,7 +123,7 @@ func (Shearsort) Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool
 // rowPhase runs n rounds of odd-even transposition within every row of
 // every block. Row v of an ascending block sorts ascending-by-dimA when
 // v is even; descending blocks flip every direction.
-func rowPhase(m *simnet.Machine, bases []int, dimA, dimB int, asc func(base int) bool) {
+func rowPhase(m Machine, bases []int, dimA, dimB int, asc func(base int) bool) {
 	net := m.Net()
 	nA, nB := net.Radix(dimA), net.Radix(dimB)
 	for t := 0; t < nA; t++ {
@@ -125,7 +150,7 @@ func rowPhase(m *simnet.Machine, bases []int, dimA, dimB int, asc func(base int)
 
 // columnPhase runs n rounds of odd-even transposition within every
 // column of every block; ascending blocks sort columns ascending-by-dimB.
-func columnPhase(m *simnet.Machine, bases []int, dimA, dimB int, asc func(base int) bool) {
+func columnPhase(m Machine, bases []int, dimA, dimB int, asc func(base int) bool) {
 	net := m.Net()
 	nA, nB := net.Radix(dimA), net.Radix(dimB)
 	for t := 0; t < nB; t++ {
@@ -165,7 +190,7 @@ func (SnakeOET) Rounds(n int) int { return n * n }
 func (SnakeOET) RoundsAB(nA, nB int) int { return nA * nB }
 
 // Sort implements Engine.
-func (SnakeOET) Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool) {
+func (SnakeOET) Sort(m Machine, dimA, dimB int, asc func(base int) bool) {
 	net := m.Net()
 	dims := []int{dimA, dimB}
 	bases := net.BlockBases(dims)
@@ -218,7 +243,7 @@ func (Opt4) RoundsAB(nA, nB int) int {
 // Sort implements Engine. In block snake positions (00, 01, 11, 10) the
 // schedule is comparators (0,1)(2,3); (0,3)(1,2); (0,1)(2,3), a valid
 // 4-element sorting network whose comparators all follow block edges.
-func (Opt4) Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool) {
+func (Opt4) Sort(m Machine, dimA, dimB int, asc func(base int) bool) {
 	net := m.Net()
 	if net.Radix(dimA) != 2 || net.Radix(dimB) != 2 {
 		panic("sort2d: Opt4 requires N=2")
@@ -270,7 +295,7 @@ func (Auto) RoundsAB(nA, nB int) int {
 }
 
 // Sort implements Engine.
-func (Auto) Sort(m *simnet.Machine, dimA, dimB int, asc func(base int) bool) {
+func (Auto) Sort(m Machine, dimA, dimB int, asc func(base int) bool) {
 	if m.Net().Radix(dimA) == 2 && m.Net().Radix(dimB) == 2 {
 		Opt4{}.Sort(m, dimA, dimB, asc)
 	} else {

@@ -18,9 +18,9 @@ import (
 	"sync"
 
 	"productsort/internal/graph"
-	"productsort/internal/mergenet"
 	"productsort/internal/product"
 	"productsort/internal/routing"
+	"productsort/internal/schedule"
 	"productsort/internal/simnet"
 	"productsort/internal/sort2d"
 )
@@ -293,6 +293,34 @@ func (e *Engine) RunScheduleSynchronized(phases [][][2]int) int {
 	return total
 }
 
+// RunProgram executes every compare-exchange phase of a compiled
+// program. Markers and idle rounds carry no key motion, so a purely
+// functional engine skips them; time accounting lives in the program's
+// precomputed clock.
+func (e *Engine) RunProgram(prog *schedule.Program) {
+	for _, ph := range prog.Phases() {
+		e.RunPhase(ph)
+	}
+}
+
+// Backend adapts the message-passing engine to the schedule.Backend
+// interface: keys (indexed by node id) are sorted in place by goroutine
+// processors relaying over physical edges, and the program's
+// precomputed clock is returned (the engine tracks messages, not
+// rounds).
+type Backend struct{}
+
+// Run implements schedule.Backend.
+func (Backend) Run(prog *schedule.Program, keys []simnet.Key) (simnet.Clock, error) {
+	e, err := New(prog.Net(), keys)
+	if err != nil {
+		return simnet.Clock{}, err
+	}
+	e.RunProgram(prog)
+	copy(keys, e.keys)
+	return prog.Clock(), nil
+}
+
 // Sort runs the full multiway-merge sort as a message-passing program
 // on PG_r of factor g: the oblivious schedule is derived once (every
 // processor of a real machine could compute it locally from N and r)
@@ -309,7 +337,7 @@ func Sort(g *graph.Graph, r int, keys []Key, engine sort2d.Engine) (*Engine, err
 // SortNet is Sort for an existing product network (heterogeneous
 // networks included).
 func SortNet(net *product.Network, keys []Key, engine sort2d.Engine) (*Engine, error) {
-	phases, err := mergenet.NodePhasesNet(net, engine)
+	prog, err := schedule.Compile(net, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +352,7 @@ func SortNet(net *product.Network, keys []Key, engine sort2d.Engine) (*Engine, e
 	if err != nil {
 		return nil, err
 	}
-	e.RunSchedule(phases)
+	e.RunProgram(prog)
 	return e, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"productsort/internal/core"
 	"productsort/internal/graph"
 	"productsort/internal/product"
+	"productsort/internal/schedule"
 	"productsort/internal/simnet"
 	"productsort/internal/sort2d"
 )
@@ -241,13 +242,46 @@ func NewSorter(opts ...Option) (*Sorter, error) {
 	return s, nil
 }
 
+// newResult assembles a Result from a replay clock and sorted keys
+// (indexed by node id).
+func newResult(nw *Network, clk simnet.Clock, engineName string, byNode []Key) *Result {
+	snake := make([]Key, len(byNode))
+	for pos := range snake {
+		snake[pos] = byNode[nw.net.NodeAtSnake(pos)]
+	}
+	return &Result{
+		Keys:         snake,
+		ByNode:       byNode,
+		Rounds:       clk.Rounds,
+		S2Rounds:     clk.S2Rounds,
+		SweepRounds:  clk.SweepRounds,
+		S2Phases:     clk.S2Phases,
+		Sweeps:       clk.SweepPhases,
+		RoutedPhases: clk.RoutedPhases,
+		Engine:       engineName,
+	}
+}
+
 // Sort sorts keys on the network and returns the result. len(keys) must
 // equal nw.Nodes(). Keys are assigned to nodes in snake order: keys[i]
 // starts at snake position i. (Initial placement does not affect the
 // algorithm's behaviour or cost; it is oblivious.)
+//
+// The sort replays the network's compiled phase program (see Compile);
+// the first call on a topology compiles and caches it, later calls on
+// the same topology — from any Sorter or goroutine — replay without
+// rebuilding the schedule. Only an observer forces the direct path, so
+// stage snapshots can be taken mid-flight.
 func (s *Sorter) Sort(nw *Network, keys []Key) (*Result, error) {
 	if len(keys) != nw.Nodes() {
 		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), nw.Nodes())
+	}
+	if s.observer == nil {
+		c, err := s.Compile(nw)
+		if err != nil {
+			return nil, err
+		}
+		return c.Sort(keys)
 	}
 	m, err := simnet.New(nw.net, make([]Key, len(keys)))
 	if err != nil {
@@ -258,22 +292,10 @@ func (s *Sorter) Sort(nw *Network, keys []Key) (*Result, error) {
 		m.SetExecutor(simnet.GoroutineExec{})
 	}
 	alg := core.New(s.engine)
-	if s.observer != nil {
-		alg.Observer = func(stage string, m *simnet.Machine) { s.observer(stage, m.SnakeKeys()) }
-	}
+	mach := m
+	alg.Observer = func(stage string, _ sort2d.Machine) { s.observer(stage, mach.SnakeKeys()) }
 	alg.Sort(m)
-	clk := m.Clock()
-	return &Result{
-		Keys:         m.SnakeKeys(),
-		ByNode:       m.Keys(),
-		Rounds:       clk.Rounds,
-		S2Rounds:     clk.S2Rounds,
-		SweepRounds:  clk.SweepRounds,
-		S2Phases:     clk.S2Phases,
-		Sweeps:       clk.SweepPhases,
-		RoutedPhases: clk.RoutedPhases,
-		Engine:       s.engine.Name(),
-	}, nil
+	return newResult(nw, m.Clock(), s.engine.Name(), m.Keys()), nil
 }
 
 // Sort sorts with the default configuration (auto S_2 engine).
@@ -283,6 +305,103 @@ func Sort(nw *Network, keys []Key) (*Result, error) {
 		return nil, err
 	}
 	return s.Sort(nw, keys)
+}
+
+// CompiledNetwork is a network bound to its compiled phase program: the
+// algorithm has run once (symbolically) and its full compare-exchange
+// schedule, with per-round costs, is frozen. Sort and SortBatch replay
+// the program without any schedule construction; the program itself
+// lives in a process-wide cache keyed by topology, labeling, and
+// engine, so compiling the "same" network twice is free. Safe for
+// concurrent use.
+type CompiledNetwork struct {
+	nw   *Network
+	prog *schedule.Program
+	exec simnet.Executor
+}
+
+// Compile returns the network bound to its cached phase program for the
+// Sorter's engine. The first compile of a topology runs the algorithm
+// once to record the program; every later compile — from any Sorter —
+// is a cache hit.
+func (s *Sorter) Compile(nw *Network) (*CompiledNetwork, error) {
+	prog, err := schedule.Compile(nw.net, s.engine)
+	if err != nil {
+		return nil, err
+	}
+	var exec simnet.Executor
+	if s.goroutines {
+		exec = simnet.GoroutineExec{}
+	}
+	return &CompiledNetwork{nw: nw, prog: prog, exec: exec}, nil
+}
+
+// Compile compiles the network with the default configuration.
+func Compile(nw *Network) (*CompiledNetwork, error) {
+	s, err := NewSorter()
+	if err != nil {
+		return nil, err
+	}
+	return s.Compile(nw)
+}
+
+// Network returns the network the program was compiled for.
+func (c *CompiledNetwork) Network() *Network { return c.nw }
+
+// Rounds returns the program's parallel round count (what every Sort
+// will report).
+func (c *CompiledNetwork) Rounds() int { return c.prog.Rounds() }
+
+// Depth returns the number of non-empty compare-exchange phases.
+func (c *CompiledNetwork) Depth() int { return c.prog.Depth() }
+
+// Size returns the total comparator count.
+func (c *CompiledNetwork) Size() int { return c.prog.Size() }
+
+// Sort replays the compiled program over keys (snake order, like
+// Sorter.Sort) and returns the result. No schedule work happens here —
+// just compare-exchanges.
+func (c *CompiledNetwork) Sort(keys []Key) (*Result, error) {
+	if len(keys) != c.nw.Nodes() {
+		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), c.nw.Nodes())
+	}
+	byNode := make([]Key, len(keys))
+	for pos, k := range keys {
+		byNode[c.nw.net.NodeAtSnake(pos)] = k
+	}
+	clk, err := schedule.ExecBackend{Exec: c.exec}.Run(c.prog, byNode)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(c.nw, clk, c.prog.Engine(), byNode), nil
+}
+
+// SortBatch sorts many independent key sets (each in snake order, in
+// place) through the one compiled program with a pool of workers;
+// workers < 1 picks a sensible default. This is the throughput mode the
+// compile/execute split exists for: M sorts, one schedule.
+func (c *CompiledNetwork) SortBatch(batch [][]Key, workers int) error {
+	nodes := c.nw.Nodes()
+	byNode := make([][]Key, len(batch))
+	for i, keys := range batch {
+		if len(keys) != nodes {
+			return fmt.Errorf("productsort: batch[%d] has %d keys for %d nodes", i, len(keys), nodes)
+		}
+		bn := make([]Key, nodes)
+		for pos, k := range keys {
+			bn[c.nw.net.NodeAtSnake(pos)] = k
+		}
+		byNode[i] = bn
+	}
+	if err := schedule.RunBatch(c.prog, byNode, workers); err != nil {
+		return err
+	}
+	for i, keys := range batch {
+		for pos := range keys {
+			keys[pos] = byNode[i][c.nw.net.NodeAtSnake(pos)]
+		}
+	}
+	return nil
 }
 
 // PredictedRounds returns Theorem 1's round count for this network with
@@ -354,18 +473,7 @@ func (s *Sorter) Merge(nw *Network, slabs [][]Key) (*Result, error) {
 		m.SetExecutor(simnet.GoroutineExec{})
 	}
 	core.New(s.engine).Merge(m, r)
-	clk := m.Clock()
-	return &Result{
-		Keys:         m.SnakeKeys(),
-		ByNode:       m.Keys(),
-		Rounds:       clk.Rounds,
-		S2Rounds:     clk.S2Rounds,
-		SweepRounds:  clk.SweepRounds,
-		S2Phases:     clk.S2Phases,
-		Sweeps:       clk.SweepPhases,
-		RoutedPhases: clk.RoutedPhases,
-		Engine:       s.engine.Name(),
-	}, nil
+	return newResult(nw, m.Clock(), s.engine.Name(), m.Keys()), nil
 }
 
 // SnakeCutWidth returns the edge count of the snake-order bisection: an
