@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"productsort"
+	"productsort/internal/stats"
+	"productsort/internal/workload"
+)
+
+// chaosScenario is one fault mix applied across the chaos topologies.
+type chaosScenario struct {
+	name string
+	cfg  productsort.FaultConfig
+}
+
+// chaosEntry is one (topology, scenario, seed) resilient run.
+type chaosEntry struct {
+	Network  string `json:"network"`
+	Nodes    int    `json:"nodes"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Sorted   bool   `json:"sorted"`
+	// BaseRounds is the fault-free program cost; Rounds what the
+	// faulted run charged (base + degradation + recovery).
+	BaseRounds     int     `json:"baseRounds"`
+	Rounds         int     `json:"rounds"`
+	RecoveryRounds int     `json:"recoveryRounds"`
+	Overhead       float64 `json:"overhead"` // Rounds / BaseRounds
+	Injected       int     `json:"injected"`
+	Dropped        int     `json:"dropped"`
+	Stalled        int     `json:"stalled"`
+	Corrupted      int     `json:"corrupted"`
+	DeadLinks      int     `json:"deadLinks"`
+	Detected       int     `json:"detected"`
+	Retried        int     `json:"retried"`
+	RepairPasses   int     `json:"repairPasses"`
+	Rerouted       int     `json:"rerouted"`
+	Unrecoverable  int     `json:"unrecoverable"`
+}
+
+// chaosReport is the BENCH_chaos.json document.
+type chaosReport struct {
+	Generated string       `json:"generated"`
+	Seeds     int          `json:"seeds"`
+	Entries   []chaosEntry `json:"entries"`
+}
+
+// runChaosBench drives resilient sorts across topologies, fault
+// scenarios and seeds, verifies every recovered output, and writes the
+// report to path.
+func runChaosBench(path string, seeds int) error {
+	if seeds < 1 {
+		return fmt.Errorf("chaos bench: -seeds %d < 1", seeds)
+	}
+	nets := []*productsort.Network{}
+	for _, build := range []func() (*productsort.Network, error){
+		func() (*productsort.Network, error) { return productsort.Grid(4, 3) },
+		func() (*productsort.Network, error) { return productsort.Torus(5, 2) },
+		func() (*productsort.Network, error) { return productsort.Hypercube(6) },
+		func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(2, 2) },
+		func() (*productsort.Network, error) { return productsort.PetersenCube(2) },
+	} {
+		nw, err := build()
+		if err != nil {
+			return err
+		}
+		nets = append(nets, nw)
+	}
+	scenarios := []chaosScenario{
+		{"drops-2pct", productsort.FaultConfig{DropRate: 0.02}},
+		{"stalls-3pct", productsort.FaultConfig{StallRate: 0.03}},
+		{"corrupt-5pct", productsort.FaultConfig{CorruptRate: 0.05}},
+		{"mixed-5pct", productsort.FaultConfig{DropRate: 0.05, StallRate: 0.03, CorruptRate: 0.05}},
+		{"link-loss", productsort.FaultConfig{LinkFailRate: 0.15, MaxDeadLinks: 1, DropRate: 0.02}},
+	}
+	gen, err := workload.ByName("uniform")
+	if err != nil {
+		return err
+	}
+
+	report := chaosReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Seeds:     seeds,
+	}
+	table := stats.NewTable("Chaos: self-healing replay under injected faults",
+		"network", "scenario", "injected", "detected", "retried", "rerouted",
+		"unrecov", "recovery rounds", "overhead")
+	for _, nw := range nets {
+		c, err := productsort.Compile(nw)
+		if err != nil {
+			return err
+		}
+		for _, sc := range scenarios {
+			agg := chaosEntry{}
+			for seed := 0; seed < seeds; seed++ {
+				cfg := sc.cfg
+				cfg.Seed = int64(seed + 1)
+				keys := gen(nw.Nodes(), int64(seed)*31+7)
+				res, err := c.SortResilient(keys, cfg)
+				if err != nil {
+					return fmt.Errorf("chaos bench: %s/%s seed %d: %w (report %+v)",
+						nw.Name(), sc.name, seed+1, err, res.Faults)
+				}
+				if !productsort.IsSorted(res.Keys) {
+					return fmt.Errorf("chaos bench: %s/%s seed %d: output not sorted",
+						nw.Name(), sc.name, seed+1)
+				}
+				f := res.Faults
+				e := chaosEntry{
+					Network: nw.Name(), Nodes: nw.Nodes(), Scenario: sc.name,
+					Seed: cfg.Seed, Sorted: true,
+					BaseRounds: c.Rounds(), Rounds: res.Rounds,
+					RecoveryRounds: f.RecoveryRounds,
+					Injected:       f.Injected, Dropped: f.Dropped, Stalled: f.Stalled,
+					Corrupted: f.Corrupted, DeadLinks: f.DeadLinks,
+					Detected: f.Detected, Retried: f.Retried,
+					RepairPasses: f.RepairPasses, Rerouted: f.Rerouted,
+					Unrecoverable: f.Unrecoverable,
+				}
+				if e.BaseRounds > 0 {
+					e.Overhead = float64(e.Rounds) / float64(e.BaseRounds)
+				}
+				report.Entries = append(report.Entries, e)
+				agg.Injected += e.Injected
+				agg.Detected += e.Detected
+				agg.Retried += e.Retried
+				agg.Rerouted += e.Rerouted
+				agg.Unrecoverable += e.Unrecoverable
+				agg.RecoveryRounds += e.RecoveryRounds
+				agg.Overhead += e.Overhead
+			}
+			table.Add(nw.Name(), sc.name, agg.Injected, agg.Detected, agg.Retried,
+				agg.Rerouted, agg.Unrecoverable, agg.RecoveryRounds,
+				fmt.Sprintf("%.2fx", agg.Overhead/float64(seeds)))
+		}
+	}
+	table.Note("%d seeds per cell; every run verified sorted; overhead = faulted/fault-free rounds, averaged", seeds)
+	table.Render(os.Stdout)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	return nil
+}

@@ -27,10 +27,20 @@ func main() {
 	schedOut := flag.String("scheduleout", "BENCH_schedule.json", "output path for -schedule")
 	schedSets := flag.Int("sets", 64, "key sets per topology for -schedule")
 	schedWorkers := flag.Int("workers", 0, "worker pool size for -schedule (0 = GOMAXPROCS)")
+	chaosMode := flag.Bool("chaos", false, "run resilient sorts under injected faults across topologies and exit")
+	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -chaos")
+	chaosSeeds := flag.Int("seeds", 5, "fault seeds per (topology, scenario) cell for -chaos")
 	flag.Parse()
 
 	if *schedMode {
 		if err := runScheduleBench(*schedOut, *schedSets, *schedWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosMode {
+		if err := runChaosBench(*chaosOut, *chaosSeeds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"productsort/internal/graph"
+)
+
+func TestQuiet(t *testing.T) {
+	if !(Config{}).Quiet() {
+		t.Error("zero config must be quiet")
+	}
+	if (Config{DropRate: 0.1}).Quiet() {
+		t.Error("drop rate must not be quiet")
+	}
+	if (Config{DeadLinks: []FactorEdge{{1, 0, 1}}}).Quiet() {
+		t.Error("forced dead links must not be quiet")
+	}
+}
+
+// Decisions are pure functions of the seed and coordinates: two plans
+// with the same config agree everywhere, and a different seed disagrees
+// somewhere.
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.3, StallRate: 0.2, CorruptRate: 0.25, DupRate: 0.15}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	cfg.Seed = 43
+	c := NewPlan(cfg)
+	differs := false
+	for phase := 0; phase < 200; phase++ {
+		if a.PairDropped(0, phase, 1, 2) != b.PairDropped(0, phase, 1, 2) {
+			t.Fatal("same seed disagrees on PairDropped")
+		}
+		if a.NodeStalled(0, phase, 3) != b.NodeStalled(0, phase, 3) {
+			t.Fatal("same seed disagrees on NodeStalled")
+		}
+		an, am, aok := a.Corruption(0, phase, 64)
+		bn, bm, bok := b.Corruption(0, phase, 64)
+		if an != bn || am != bm || aok != bok {
+			t.Fatal("same seed disagrees on Corruption")
+		}
+		if a.PairDropped(0, phase, 1, 2) != c.PairDropped(0, phase, 1, 2) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds never disagreed in 200 phases at 30% rate")
+	}
+}
+
+// Epoch is the retry dimension: bumping it re-rolls every decision, so
+// a retried window faces fresh faults rather than the same ones.
+func TestEpochRerolls(t *testing.T) {
+	p := NewPlan(Config{Seed: 7, CorruptRate: 0.5})
+	differs := false
+	for phase := 0; phase < 64; phase++ {
+		_, _, ok0 := p.Corruption(0, phase, 16)
+		_, _, ok1 := p.Corruption(1, phase, 16)
+		if ok0 != ok1 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("epoch bump never changed a 50% corruption decision over 64 phases")
+	}
+}
+
+func TestRatesApproximatelyRespected(t *testing.T) {
+	p := NewPlan(Config{Seed: 5, DropRate: 0.25})
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if p.PairDropped(0, i, 0, 1) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("drop rate 0.25 realized as %.3f", got)
+	}
+}
+
+func TestBindFactorForcedDeadLink(t *testing.T) {
+	g := graph.Cycle(6)
+	p := NewPlan(Config{Seed: 1, DeadLinks: []FactorEdge{{Dim: 1, U: 2, V: 3}}})
+	dead, err := p.BindFactor(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != [2]int{2, 3} {
+		t.Fatalf("dead = %v, want [[2 3]]", dead)
+	}
+	if !p.LinkDead(1, 3, 2) {
+		t.Error("LinkDead must normalize edge order")
+	}
+	sp := p.SurvivingPlan(1)
+	if sp == nil {
+		t.Fatal("no surviving plan")
+	}
+	// The ring minus one edge is a path: 2 and 3 are now 5 hops apart.
+	if d := sp.Dist(2, 3); d != 5 {
+		t.Errorf("surviving distance 2-3 = %d, want 5", d)
+	}
+	if c := p.Counters(); c.DeadLinks != 1 || c.Injected != 1 {
+		t.Errorf("counters = %+v, want 1 dead link", c)
+	}
+}
+
+func TestBindFactorRefusesDisconnection(t *testing.T) {
+	// Every star edge is a bridge: forcing one dead must error.
+	p := NewPlan(Config{DeadLinks: []FactorEdge{{Dim: 1, U: 0, V: 2}}})
+	if _, err := p.BindFactor(1, graph.Star(5)); err == nil {
+		t.Fatal("disconnecting forced dead link accepted")
+	}
+	// A non-edge is an error too.
+	p = NewPlan(Config{DeadLinks: []FactorEdge{{Dim: 1, U: 1, V: 2}}})
+	if _, err := p.BindFactor(1, graph.Star(5)); err == nil {
+		t.Fatal("non-edge forced dead link accepted")
+	}
+}
+
+func TestBindFactorSparesBridges(t *testing.T) {
+	// At a 100% fail rate on a star, every edge is a bridge, so the
+	// plan must spare all of them to keep the factor connected.
+	p := NewPlan(Config{Seed: 3, LinkFailRate: 1})
+	dead, err := p.BindFactor(1, graph.Star(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 0 {
+		t.Errorf("star lost %d bridges", len(dead))
+	}
+	if p.SurvivingPlan(1) != nil {
+		t.Error("intact dimension must have nil surviving plan")
+	}
+	// On a cycle the same rate kills edges but must stop before
+	// disconnecting: a 6-cycle can lose exactly one edge.
+	p = NewPlan(Config{Seed: 3, LinkFailRate: 1})
+	dead, err = p.BindFactor(1, graph.Cycle(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 {
+		t.Errorf("cycle lost %d edges, want exactly 1 (rest are then bridges)", len(dead))
+	}
+}
+
+func TestBindFactorMaxDeadLinksCap(t *testing.T) {
+	p := NewPlan(Config{Seed: 9, LinkFailRate: 1, MaxDeadLinks: 2})
+	dead, err := p.BindFactor(1, graph.Complete(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 2 {
+		t.Errorf("cap 2 produced %d dead links", len(dead))
+	}
+}
+
+func TestBindFactorIdempotent(t *testing.T) {
+	p := NewPlan(Config{Seed: 11, LinkFailRate: 0.5})
+	g := graph.Complete(5)
+	d1, err := p.BindFactor(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := p.BindFactor(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("rebinding changed the dead set: %v vs %v", d1, d2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("rebinding changed the dead set: %v vs %v", d1, d2)
+		}
+	}
+	if c := p.Counters(); c.DeadLinks != len(d1) {
+		t.Errorf("rebinding double-counted dead links: %+v", c)
+	}
+}
+
+func TestChecksumInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	keys := make([]Key, 257)
+	for i := range keys {
+		keys[i] = rng.Int63() - rng.Int63()
+	}
+	want := ChecksumKeys(keys)
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	if got := ChecksumKeys(keys); got != want {
+		t.Errorf("checksum changed under permutation: %+v vs %+v", got, want)
+	}
+	keys[100] ^= 1 << 17
+	if got := ChecksumKeys(keys); got == want {
+		t.Error("checksum missed a single bit flip")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	p := NewPlan(Config{})
+	p.Add(Counters{Dropped: 2, Injected: 2})
+	p.Add(Counters{Corrupted: 1, Injected: 1, Retried: 3})
+	got := p.Counters()
+	want := Counters{Injected: 3, Dropped: 2, Corrupted: 1, Retried: 3}
+	if got != want {
+		t.Errorf("counters = %+v, want %+v", got, want)
+	}
+}

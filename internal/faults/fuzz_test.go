@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// FuzzScrubDetectsCorruption fuzzes fault plans over key arrays and
+// pins the scrub contract: after plan-driven corruption, either the
+// checksum scrub detects the damage, or the key multiset is unchanged —
+// in which case the "corruption" is observationally harmless (the
+// machine holds exactly the multiset it started with). There is no
+// third outcome: silent, multiset-altering corruption must always trip
+// the scrub.
+func FuzzScrubDetectsCorruption(f *testing.F) {
+	f.Add(int64(1), 0.05, uint8(32), uint8(12), uint8(3))
+	f.Add(int64(99), 1.0, uint8(4), uint8(30), uint8(0))
+	f.Add(int64(-7), 0.5, uint8(200), uint8(1), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, phases, epochs uint8) {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			t.Skip()
+		}
+		if rate < 0 {
+			rate = -rate
+		}
+		if rate > 1 {
+			rate = math.Mod(rate, 1)
+		}
+		nodes := int(n)%128 + 2
+		nPhases := int(phases)%48 + 1
+		nEpochs := int(epochs)%8 + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]Key, nodes)
+		for i := range keys {
+			keys[i] = rng.Int63() - rng.Int63()
+		}
+		orig := append([]Key(nil), keys...)
+		sum0 := ChecksumKeys(keys)
+
+		plan := NewPlan(Config{Seed: seed, CorruptRate: rate})
+		injected := 0
+		for epoch := 0; epoch < nEpochs; epoch++ {
+			for phase := 0; phase < nPhases; phase++ {
+				if node, mask, ok := plan.Corruption(epoch, phase, nodes); ok {
+					if mask == 0 {
+						t.Fatal("corruption fired with a zero mask")
+					}
+					keys[node] ^= mask
+					injected++
+				}
+			}
+		}
+
+		if injected == 0 {
+			if ChecksumKeys(keys) != sum0 {
+				t.Fatal("checksum changed with no injected corruption")
+			}
+			return
+		}
+		if ChecksumKeys(keys) != sum0 {
+			return // detected: the scrub caught the corruption
+		}
+		// Undetected: assert the damage is observationally harmless.
+		a := append([]Key(nil), keys...)
+		b := append([]Key(nil), orig...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("scrub missed multiset-altering corruption: %d injected flips, first diff at sorted index %d", injected, i)
+			}
+		}
+	})
+}
+
+// FuzzFaultPlanDeterminism fuzzes plan decisions across every fault
+// class and asserts a same-config plan reproduces them exactly.
+func FuzzFaultPlanDeterminism(f *testing.F) {
+	f.Add(int64(3), 0.1, 0.2, 0.3, uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, drop, stall, dup float64, phases uint8) {
+		for _, r := range []*float64{&drop, &stall, &dup} {
+			if math.IsNaN(*r) || math.IsInf(*r, 0) {
+				t.Skip()
+			}
+			if *r < 0 {
+				*r = -*r
+			}
+			if *r > 1 {
+				*r = math.Mod(*r, 1)
+			}
+		}
+		cfg := Config{Seed: seed, DropRate: drop, StallRate: stall, DupRate: dup}
+		a, b := NewPlan(cfg), NewPlan(cfg)
+		for phase := 0; phase < int(phases)%64+1; phase++ {
+			if a.PairDropped(1, phase, 0, 5) != b.PairDropped(1, phase, 0, 5) ||
+				a.NodeStalled(1, phase, 2) != b.NodeStalled(1, phase, 2) ||
+				a.NodeStalledRound(phase, 3, 2) != b.NodeStalledRound(phase, 3, 2) ||
+				a.MessageDropped(phase, 0, 1, 4, 2) != b.MessageDropped(phase, 0, 1, 4, 2) ||
+				a.MessageDuplicated(phase, 0, 1, 4, 2) != b.MessageDuplicated(phase, 0, 1, 4, 2) {
+				t.Fatal("same-config plans disagree")
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+// Scrubbing: cheap invariants a recovery layer can verify after a
+// replay window to decide whether injected corruption slipped through.
+//
+// Compare-exchange networks only ever permute keys, so the key multiset
+// is invariant across any prefix of a (possibly fault-skipped) replay.
+// The scrub checksum tracks three multiset invariants: the wrapping sum
+// and XOR of all keys, and the wrapping sum of a 64-bit hash of each
+// key. Sum and Xor alone detect any single bit flip but cancel under
+// paired flips at the same bit position (one key gains 2^b, another
+// loses it); the hashed sum closes that hole — canceling it requires a
+// colliding hash-delta pair, a 2⁻⁶⁴ event no plan-driven fault mix
+// produces. A corruption that preserves the multiset itself (e.g. a
+// flip later undone) is observationally harmless: the machine holds
+// the same multiset it started with. The fuzz target
+// FuzzScrubDetectsCorruption pins exactly this contract: detected or
+// harmless, never silent.
+
+package faults
+
+// Checksum is an order-independent digest of a key multiset: invariant
+// under compare-exchange, changed by (practically) any corruption.
+type Checksum struct {
+	// Sum is the wrapping int64 sum of all keys.
+	Sum Key
+	// Xor is the bitwise XOR of all keys.
+	Xor Key
+	// Hash is the wrapping sum of splitmix64 over each key: the
+	// component that survives structured flip patterns Sum and Xor
+	// cancel on.
+	Hash uint64
+}
+
+// ChecksumKeys digests the key slice. O(n), allocation-free.
+func ChecksumKeys(keys []Key) Checksum {
+	var c Checksum
+	for _, k := range keys {
+		c.Sum += k
+		c.Xor ^= k
+		c.Hash += splitmix64(uint64(k))
+	}
+	return c
+}

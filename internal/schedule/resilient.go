@@ -1,0 +1,419 @@
+// ResilientBackend: self-healing schedule replay. It wraps any Backend
+// with deterministic fault injection and the recovery machinery that
+// survives it: checkpoint every K phases, checksum-scrub each window,
+// retry faulted windows from the checkpoint under a fresh fault epoch,
+// halve the window when retries keep failing (exponential backoff that
+// isolates the corrupting phase), wait out stalls and retransmit drops
+// at their measured round cost, re-price the whole program on the
+// surviving network when links are dead, and finish with a sortedness
+// scrub backed by bounded full-program repair passes (the schedule is
+// oblivious, so re-running it is always safe).
+//
+// Faults are realized here, above the inner backend: pair skips are
+// removed from the ops the backend sees and corruption masks are
+// applied to the key array between backend segments. Every decision is
+// a pure function of (plan seed, epoch, op index, coordinates), so two
+// runs with the same plan — over ANY conforming inner backend — produce
+// byte-identical keys and identical recovery counters.
+
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"productsort/internal/faults"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+)
+
+// ErrUnrecoverable reports that recovery was exhausted: either a key
+// corruption survived every window retry (the data itself is wrong —
+// no amount of re-sorting can restore a flipped bit), or the repair
+// pass budget ran out before the output scrubbed sorted. The returned
+// clock still carries the full fault and recovery accounting.
+var ErrUnrecoverable = errors.New("schedule: fault recovery exhausted")
+
+// pairAttempts bounds stall-waits and retransmissions per pair before
+// the exchange is abandoned for the phase (mirrors the SPMD engine's
+// message retry bound).
+const pairAttempts = 8
+
+// ResilientBackend wraps an inner Backend with deterministic fault
+// injection and self-healing replay. The zero value of each knob
+// selects its default.
+type ResilientBackend struct {
+	// Inner executes the surviving ops; nil means ExecBackend.
+	Inner Backend
+	// Plan decides the faults. nil (or a quiet plan) makes Run a
+	// transparent delegate to Inner — the fault-free path costs nothing.
+	Plan *faults.Plan
+	// CheckpointEvery is K, the number of exchange phases per
+	// checkpoint window; <1 means 16. Small K detects corruption
+	// sooner but copies keys more often (see THEORY.md for the
+	// overhead bound).
+	CheckpointEvery int
+	// MaxRetries is the number of full-window retries before the
+	// window is halved; <1 means 3.
+	MaxRetries int
+	// MaxRepairPasses bounds the full-program repair replays after the
+	// final sortedness scrub; <1 means 3.
+	MaxRepairPasses int
+}
+
+// Run implements Backend: it replays prog over keys under the fault
+// plan, healing what it can, and returns the clock with Rounds
+// inflated by the measured recovery cost (split out in RecoveryRounds)
+// and the plan's counters attached. A nil or quiet plan delegates
+// straight to the inner backend.
+func (rb ResilientBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, error) {
+	inner := rb.Inner
+	if inner == nil {
+		inner = ExecBackend{}
+	}
+	if rb.Plan == nil || rb.Plan.Config().Quiet() {
+		return inner.Run(prog, keys)
+	}
+	if len(keys) != prog.net.Nodes() {
+		return simnet.Clock{}, fmt.Errorf("schedule: %d keys for %d nodes", len(keys), prog.net.Nodes())
+	}
+	priced, rerouted, err := degradeProgram(prog, rb.Plan)
+	if err != nil {
+		return simnet.Clock{}, err
+	}
+	if rerouted > 0 {
+		rb.Plan.Add(faults.Counters{Rerouted: rerouted})
+	}
+	r := &resilientRun{
+		prog:       priced,
+		inner:      inner,
+		plan:       rb.Plan,
+		keys:       keys,
+		sum0:       faults.ChecksumKeys(keys),
+		k:          rb.CheckpointEvery,
+		maxRetries: rb.MaxRetries,
+	}
+	if r.k < 1 {
+		r.k = 16
+	}
+	if r.maxRetries < 1 {
+		r.maxRetries = 3
+	}
+	maxRepair := rb.MaxRepairPasses
+	if maxRepair < 1 {
+		maxRepair = 3
+	}
+	for i := range priced.ops {
+		switch priced.ops[i].Kind {
+		case OpCompareExchange, OpRoutedExchange:
+			r.ex = append(r.ex, i)
+		}
+	}
+	if err := r.runAll(true); err != nil {
+		return simnet.Clock{}, err
+	}
+	// Final scrub: the multiset checksum cannot see a silently skipped
+	// exchange, but the snake order can. Sorting is idempotent over
+	// this schedule, so a repair pass is just another (fresh-epoch)
+	// replay charged entirely to recovery.
+	for pass := 0; !snakeSorted(priced.net, keys); pass++ {
+		if pass >= maxRepair {
+			r.plan.Add(faults.Counters{Unrecoverable: 1})
+			return r.finalClock(), ErrUnrecoverable
+		}
+		r.plan.Add(faults.Counters{Detected: 1, RepairPasses: 1})
+		r.epoch++
+		if err := r.runAll(false); err != nil {
+			return simnet.Clock{}, err
+		}
+	}
+	clk := r.finalClock()
+	if r.corrupted {
+		return clk, ErrUnrecoverable
+	}
+	return clk, nil
+}
+
+// resilientRun is the mutable state of one resilient replay.
+type resilientRun struct {
+	prog  *Program
+	inner Backend
+	plan  *faults.Plan
+	keys  []simnet.Key
+	ex    []int           // indices of exchange ops in prog.ops
+	sum0  faults.Checksum // multiset digest scrubbed against
+
+	k          int // checkpoint window size (exchange phases)
+	maxRetries int // full-window retries before halving
+
+	epoch          int // bumped per retry/repair: re-rolls every decision
+	recoveryRounds int
+	corrupted      bool // an accepted (unhealable) corruption happened
+	pending        []Op // scratch ops buffer between backend segments
+}
+
+// runAll replays every window in order. free marks the first execution
+// of each window as already paid for by the program's base clock;
+// repair passes set it false so their full cost lands on recovery.
+func (r *resilientRun) runAll(free bool) error {
+	for w := 0; w < len(r.ex); w += r.k {
+		hi := w + r.k
+		if hi > len(r.ex) {
+			hi = len(r.ex)
+		}
+		if err := r.window(w, hi, free); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// window replays exchange ops ex[lo:hi] under checksum scrubbing:
+// checkpoint, execute, scrub; on corruption restore and retry under a
+// fresh epoch; after maxRetries halve the window (exponential backoff —
+// each level pins the corruption to half as many phases); a single
+// phase that never comes clean is accepted as unrecoverable and the
+// scrub baseline rebased so later windows still scrub meaningfully.
+func (r *resilientRun) window(lo, hi int, free bool) error {
+	cost := r.windowCost(lo, hi)
+	checkpoint := append([]simnet.Key(nil), r.keys...)
+	for attempt := 0; attempt <= r.maxRetries; attempt++ {
+		if !free || attempt > 0 {
+			r.recoveryRounds += cost
+		}
+		if err := r.execute(lo, hi); err != nil {
+			return err
+		}
+		if faults.ChecksumKeys(r.keys) == r.sum0 {
+			return nil
+		}
+		r.plan.Add(faults.Counters{Detected: 1, Retried: 1})
+		copy(r.keys, checkpoint)
+		r.epoch++
+	}
+	if hi-lo <= 1 {
+		// The corrupting phase is isolated and will not heal: run it
+		// one last time and carry the corruption forward, counted.
+		r.recoveryRounds += cost
+		if err := r.execute(lo, hi); err != nil {
+			return err
+		}
+		if sum := faults.ChecksumKeys(r.keys); sum != r.sum0 {
+			r.plan.Add(faults.Counters{Detected: 1, Unrecoverable: 1})
+			r.corrupted = true
+			r.sum0 = sum
+		}
+		return nil
+	}
+	mid := lo + (hi-lo)/2
+	if err := r.window(lo, mid, false); err != nil {
+		return err
+	}
+	return r.window(mid, hi, false)
+}
+
+// windowCost sums the priced round charges of exchange ops ex[lo:hi].
+func (r *resilientRun) windowCost(lo, hi int) int {
+	cost := 0
+	for w := lo; w < hi; w++ {
+		cost += r.prog.ops[r.ex[w]].Cost
+	}
+	return cost
+}
+
+// execute runs exchange ops ex[lo:hi] once under the current epoch:
+// stalled endpoints are waited out (a recovery round per stalled
+// round), dropped exchanges are retransmitted (a recovery round per
+// attempt, bounded), surviving pairs are batched into sub-programs for
+// the inner backend, and per-phase corruption is applied to the key
+// array between segments so it propagates through later phases exactly
+// as a live flipped bit would. Pairs within a phase recover in
+// parallel, so a phase's recovery charge is the worst pair's, not the
+// sum.
+func (r *resilientRun) execute(lo, hi int) error {
+	var delta faults.Counters
+	pending := r.pending[:0]
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		sub := &Program{net: r.prog.net, engine: r.prog.engine, sig: r.prog.sig, ops: pending}
+		_, err := r.inner.Run(sub, r.keys)
+		pending = pending[:0]
+		return err
+	}
+	for w := lo; w < hi; w++ {
+		j := r.ex[w]
+		op := &r.prog.ops[j]
+		kept := make([][2]int, 0, len(op.Pairs))
+		phaseExtra := 0
+		for _, pr := range op.Pairs {
+			a, b := pr[0], pr[1]
+			extra := 0
+			alive := true
+			// Wait out stalled endpoints, one round per stalled round.
+			for round := 0; r.plan.NodeStalledRound(j, round, a) || r.plan.NodeStalledRound(j, round, b); round++ {
+				delta.Stalled++
+				delta.Injected++
+				extra++
+				if extra >= pairAttempts {
+					alive = false
+					break
+				}
+			}
+			// Transmit; dropped exchanges retransmit on later rounds.
+			// The epoch rides in the hop slot so retried windows
+			// re-roll their retransmissions too.
+			if alive {
+				dropped := r.plan.PairDropped(r.epoch, j, a, b)
+				for att := 1; dropped; att++ {
+					delta.Dropped++
+					delta.Injected++
+					if att >= pairAttempts {
+						alive = false
+						break
+					}
+					delta.Retried++
+					extra++
+					dropped = r.plan.MessageDropped(j, att, a, b, r.epoch)
+				}
+			}
+			if !alive {
+				// This exchange is lost for the phase; the final
+				// sortedness scrub and repair passes pick it up.
+				delta.Unrecoverable++
+				continue
+			}
+			if extra > phaseExtra {
+				phaseExtra = extra
+			}
+			kept = append(kept, pr)
+		}
+		r.recoveryRounds += phaseExtra
+		if len(kept) > 0 {
+			pending = append(pending, Op{Kind: op.Kind, Pairs: kept, Cost: op.Cost})
+		}
+		if node, mask, ok := r.plan.Corruption(r.epoch, j, len(r.keys)); ok {
+			if err := flush(); err != nil {
+				return err
+			}
+			r.keys[node] ^= simnet.Key(mask)
+			delta.Corrupted++
+			delta.Injected++
+		}
+	}
+	err := flush()
+	r.pending = pending[:0]
+	if delta != (faults.Counters{}) {
+		r.plan.Add(delta)
+	}
+	return err
+}
+
+// finalClock assembles the replay's clock: the priced base program
+// (degraded when links are dead) plus everything recovery cost, with
+// the plan's counters attached.
+func (r *resilientRun) finalClock() simnet.Clock {
+	clk := r.prog.clock
+	clk.Rounds += r.recoveryRounds
+	clk.RecoveryRounds = r.recoveryRounds
+	clk.Faults = r.plan.Counters()
+	return clk
+}
+
+// degradeProgram binds the plan's dead links against prog's factors
+// and, when any link is dead, re-prices every phase on the surviving
+// product network: an exchange whose link died becomes a routed
+// exchange at its measured detour cost — the graceful degradation to a
+// slower program. Returns the priced program (prog itself when no link
+// is dead) and the number of pair occurrences forced onto detours.
+func degradeProgram(prog *Program, plan *faults.Plan) (*Program, int, error) {
+	net := prog.net
+	deadTotal := 0
+	factors := make([]*graph.Graph, net.R())
+	for dim := 1; dim <= net.R(); dim++ {
+		dead, err := plan.BindFactor(dim, net.FactorAt(dim))
+		if err != nil {
+			return nil, 0, err
+		}
+		deadTotal += len(dead)
+		factors[dim-1] = net.FactorAt(dim)
+		if sg := plan.SurvivingGraph(dim); sg != nil {
+			factors[dim-1] = sg
+		}
+	}
+	if deadTotal == 0 {
+		return prog, 0, nil
+	}
+	surv, err := product.NewHetero(factors)
+	if err != nil {
+		return nil, 0, fmt.Errorf("schedule: surviving network: %w", err)
+	}
+	cm := simnet.NewCostModel()
+	ops := make([]Op, len(prog.ops))
+	var clk simnet.Clock
+	inS2 := false
+	rerouted := 0
+	charge := func(c int) {
+		clk.Rounds += c
+		if inS2 {
+			clk.S2Rounds += c
+		} else {
+			clk.SweepRounds += c
+		}
+	}
+	for i := range prog.ops {
+		op := prog.ops[i]
+		switch op.Kind {
+		case OpCompareExchange, OpRoutedExchange:
+			cost := cm.PhaseCost(surv, op.Pairs)
+			kind := OpCompareExchange
+			if cost > 1 {
+				kind = OpRoutedExchange
+				clk.RoutedPhases++
+			}
+			for _, pr := range op.Pairs {
+				if net.Adjacent(pr[0], pr[1]) && !surv.Adjacent(pr[0], pr[1]) {
+					rerouted++
+				}
+			}
+			ops[i] = Op{Kind: kind, Pairs: op.Pairs, Cost: cost}
+			clk.ComparePhases++
+			clk.CompareOps += len(op.Pairs)
+			charge(cost)
+		case OpIdle:
+			ops[i] = op
+			charge(1)
+		case OpBeginS2:
+			inS2 = true
+			ops[i] = op
+		case OpEndS2:
+			inS2 = false
+			ops[i] = op
+		case OpS2Marker:
+			clk.S2Phases++
+			ops[i] = op
+		case OpSweepMarker:
+			clk.SweepPhases++
+			ops[i] = op
+		}
+	}
+	// Execution still targets the original network (the inner backend
+	// exchanges over surviving routes); only the pricing degrades.
+	return &Program{net: net, engine: prog.engine, sig: prog.sig + "+degraded", ops: ops, clock: clk}, rerouted, nil
+}
+
+// snakeSorted reports whether keys (indexed by node id) are
+// nondecreasing when read in snake order.
+func snakeSorted(net *product.Network, keys []simnet.Key) bool {
+	prev := keys[net.NodeAtSnake(0)]
+	for pos := 1; pos < len(keys); pos++ {
+		k := keys[net.NodeAtSnake(pos)]
+		if k < prev {
+			return false
+		}
+		prev = k
+	}
+	return true
+}

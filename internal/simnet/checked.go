@@ -1,0 +1,103 @@
+// Checked compare-exchange: a validating variant of the machine's
+// phase entry point that returns a typed error instead of panicking
+// (or, worse, silently mis-charging rounds on garbage input). The hot
+// path — Machine.CompareExchange and the compiled-program replay —
+// stays unchecked: schedules emitted by the algorithm are validated
+// once at compile time, so per-replay validation would be pure waste.
+
+package simnet
+
+import (
+	"fmt"
+
+	"productsort/internal/product"
+)
+
+// PairFault classifies an invalid compare-exchange pair.
+type PairFault uint8
+
+const (
+	// PairOutOfRange: an endpoint is not a node id of the network.
+	PairOutOfRange PairFault = iota
+	// PairDegenerate: the two endpoints are the same node.
+	PairDegenerate
+	// PairOverlap: an endpoint already appears in an earlier pair of
+	// the same phase.
+	PairOverlap
+	// PairMultiDim: the endpoints differ in more than one dimension, so
+	// they share no G-subgraph and cannot be exchanged in one phase.
+	PairMultiDim
+)
+
+// String names the fault class.
+func (f PairFault) String() string {
+	switch f {
+	case PairOutOfRange:
+		return "endpoint out of range"
+	case PairDegenerate:
+		return "degenerate pair"
+	case PairOverlap:
+		return "overlapping pairs"
+	case PairMultiDim:
+		return "endpoints differ in more than one dimension"
+	}
+	return fmt.Sprintf("pair fault(%d)", uint8(f))
+}
+
+// PairError reports the first invalid pair of a compare-exchange phase.
+type PairError struct {
+	// Index is the offending pair's position in the phase.
+	Index int
+	// Pair is the offending (lo, hi) pair.
+	Pair [2]int
+	// Fault classifies the violation.
+	Fault PairFault
+}
+
+// Error implements error.
+func (e *PairError) Error() string {
+	return fmt.Sprintf("simnet: pair %d (%d,%d): %s", e.Index, e.Pair[0], e.Pair[1], e.Fault)
+}
+
+// ValidatePairs checks one compare-exchange phase against net: ids in
+// range, no degenerate or overlapping pairs, and every pair confined to
+// a single dimension. It returns a *PairError describing the first
+// violation, or nil.
+func ValidatePairs(net *product.Network, pairs [][2]int) error {
+	busy := make(map[int]bool, 2*len(pairs))
+	for i, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a < 0 || a >= net.Nodes() || b < 0 || b >= net.Nodes() {
+			return &PairError{Index: i, Pair: pr, Fault: PairOutOfRange}
+		}
+		if a == b {
+			return &PairError{Index: i, Pair: pr, Fault: PairDegenerate}
+		}
+		if busy[a] || busy[b] {
+			return &PairError{Index: i, Pair: pr, Fault: PairOverlap}
+		}
+		busy[a], busy[b] = true, true
+		diff := 0
+		for d := 1; d <= net.R(); d++ {
+			if net.Digit(a, d) != net.Digit(b, d) {
+				diff++
+			}
+		}
+		if diff != 1 {
+			return &PairError{Index: i, Pair: pr, Fault: PairMultiDim}
+		}
+	}
+	return nil
+}
+
+// CompareExchangeChecked is CompareExchange behind ValidatePairs: on
+// invalid input it returns the typed error and charges nothing, leaving
+// the machine's keys and clock untouched. Use it at API boundaries
+// where pairs come from callers rather than from the algorithm.
+func (m *Machine) CompareExchangeChecked(pairs [][2]int) error {
+	if err := ValidatePairs(m.net, pairs); err != nil {
+		return err
+	}
+	m.CompareExchange(pairs)
+	return nil
+}

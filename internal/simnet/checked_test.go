@@ -1,0 +1,133 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"productsort/internal/faults"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+)
+
+func TestCompareExchangeCheckedValid(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	m := MustNew(net, []Key{5, 4, 3, 2, 1, 0, 9, 8, 7})
+	if err := m.CompareExchangeChecked([][2]int{{0, 1}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock().Rounds != 1 || m.Clock().ComparePhases != 1 {
+		t.Errorf("checked phase mis-charged: %+v", m.Clock())
+	}
+	if m.Key(0) != 4 || m.Key(1) != 5 {
+		t.Error("checked phase did not exchange")
+	}
+}
+
+func TestCompareExchangeCheckedRejects(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	cases := []struct {
+		name  string
+		pairs [][2]int
+		fault PairFault
+	}{
+		{"out of range high", [][2]int{{0, 9}}, PairOutOfRange},
+		{"out of range negative", [][2]int{{-1, 0}}, PairOutOfRange},
+		{"degenerate", [][2]int{{4, 4}}, PairDegenerate},
+		{"overlap", [][2]int{{0, 1}, {1, 2}}, PairOverlap},
+		{"multi-dimension", [][2]int{{0, 4}}, PairMultiDim},
+	}
+	for _, c := range cases {
+		m := MustNew(net, make([]Key, net.Nodes()))
+		err := m.CompareExchangeChecked(c.pairs)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var pe *PairError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *PairError", c.name, err)
+			continue
+		}
+		if pe.Fault != c.fault {
+			t.Errorf("%s: fault %v, want %v", c.name, pe.Fault, c.fault)
+		}
+		if clk := m.Clock(); clk != (Clock{}) {
+			t.Errorf("%s: invalid phase charged the clock: %+v", c.name, clk)
+		}
+	}
+}
+
+func TestPairErrorMessage(t *testing.T) {
+	err := &PairError{Index: 3, Pair: [2]int{7, 7}, Fault: PairDegenerate}
+	if got := err.Error(); got == "" || got != "simnet: pair 3 (7,7): degenerate pair" {
+		t.Errorf("unexpected message %q", got)
+	}
+}
+
+// FaultExec with a nil plan is a transparent wrapper.
+func TestFaultExecNilPlanTransparent(t *testing.T) {
+	keys := []Key{3, 1, 2, 0}
+	fe := &FaultExec{}
+	fe.CompareExchange(keys, [][2]int{{0, 1}, {2, 3}})
+	if keys[0] != 1 || keys[1] != 3 || keys[2] != 0 || keys[3] != 2 {
+		t.Errorf("keys = %v", keys)
+	}
+	if fe.Phase() != 0 {
+		t.Error("nil-plan executor must not count phases")
+	}
+}
+
+// A 100% drop rate suppresses every exchange and counts it.
+func TestFaultExecDropsAll(t *testing.T) {
+	plan := faults.NewPlan(faults.Config{Seed: 1, DropRate: 1})
+	keys := []Key{3, 1, 2, 0}
+	fe := &FaultExec{Plan: plan}
+	fe.CompareExchange(keys, [][2]int{{0, 1}, {2, 3}})
+	if keys[0] != 3 || keys[2] != 2 {
+		t.Errorf("dropped phase still exchanged: %v", keys)
+	}
+	c := plan.Counters()
+	if c.Dropped != 2 || c.Injected != 2 {
+		t.Errorf("counters = %+v, want 2 drops", c)
+	}
+}
+
+// Corruption flips exactly one bit at a plan-chosen node, and the same
+// seed reproduces it bit for bit.
+func TestFaultExecCorruptionDeterministic(t *testing.T) {
+	run := func() ([]Key, faults.Counters) {
+		plan := faults.NewPlan(faults.Config{Seed: 5, CorruptRate: 1})
+		keys := []Key{10, 20, 30, 40}
+		fe := &FaultExec{Plan: plan}
+		fe.CompareExchange(keys, [][2]int{{0, 1}})
+		return keys, plan.Counters()
+	}
+	k1, c1 := run()
+	k2, c2 := run()
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("same seed diverged: %v vs %v", k1, k2)
+		}
+	}
+	if c1 != c2 {
+		t.Fatalf("same seed counters diverged: %+v vs %+v", c1, c2)
+	}
+	if c1.Corrupted != 1 {
+		t.Errorf("corruption rate 1 injected %d flips", c1.Corrupted)
+	}
+	if faults.ChecksumKeys(k1) == faults.ChecksumKeys([]Key{10, 20, 30, 40}) {
+		t.Error("scrub checksum missed the injected flip")
+	}
+}
+
+// The machine runs transparently under a fault executor: a full live
+// sort with a quiet plan matches the fault-free machine.
+func TestMachineWithQuietFaultExec(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	m := MustNew(net, []Key{5, 4, 3, 2, 1, 0, 9, 8, 7})
+	m.SetExecutor(&FaultExec{Plan: faults.NewPlan(faults.Config{})})
+	m.CompareExchange([][2]int{{0, 1}})
+	if m.Key(0) != 4 {
+		t.Error("quiet fault executor perturbed the exchange")
+	}
+}

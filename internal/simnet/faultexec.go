@@ -1,0 +1,78 @@
+// FaultExec: the fault-wrapping phase executor. It sits between the
+// machine (or the schedule replay) and a real executor, realizing a
+// faults.Plan at the pair level: stalled nodes sit a phase out, dropped
+// pairs lose their exchange, and per-phase corruption flips one bit of
+// one key. Because every decision is a pure function of (plan seed,
+// epoch, phase, coordinates), two executors over the same plan inject
+// identical faults — the property the recovery layer's determinism
+// guarantees rest on.
+
+package simnet
+
+import "productsort/internal/faults"
+
+// FaultExec wraps an Executor with deterministic pair-level fault
+// injection. It must be used by a single replay at a time (it keeps a
+// phase counter); create one per run. The zero Inner means
+// SequentialExec.
+type FaultExec struct {
+	// Inner applies the surviving pairs; nil means SequentialExec.
+	Inner Executor
+	// Plan decides the faults; nil disables injection entirely.
+	Plan *faults.Plan
+	// Epoch namespaces the decisions (the recovery layer bumps it per
+	// retry so a re-run faces fresh faults).
+	Epoch int
+
+	phase int
+	kept  [][2]int
+}
+
+// Phase returns the number of phases executed so far.
+func (e *FaultExec) Phase() int { return e.phase }
+
+// ResetPhase rewinds the phase counter (for replay restarts).
+func (e *FaultExec) ResetPhase(phase int) { e.phase = phase }
+
+// CompareExchange implements Executor: it drops the pairs the plan
+// kills, runs the survivors through the inner executor, then applies
+// the phase's corruption (if any) to the key array. Injection counters
+// accrue on the plan.
+func (e *FaultExec) CompareExchange(keys []Key, pairs [][2]int) {
+	inner := e.Inner
+	if inner == nil {
+		inner = SequentialExec{}
+	}
+	if e.Plan == nil {
+		inner.CompareExchange(keys, pairs)
+		return
+	}
+	phase := e.phase
+	e.phase++
+	kept := e.kept[:0]
+	var delta faults.Counters
+	for _, pr := range pairs {
+		lo, hi := pr[0], pr[1]
+		if e.Plan.NodeStalled(e.Epoch, phase, lo) || e.Plan.NodeStalled(e.Epoch, phase, hi) {
+			delta.Stalled++
+			delta.Injected++
+			continue
+		}
+		if e.Plan.PairDropped(e.Epoch, phase, lo, hi) {
+			delta.Dropped++
+			delta.Injected++
+			continue
+		}
+		kept = append(kept, pr)
+	}
+	e.kept = kept
+	inner.CompareExchange(keys, kept)
+	if node, mask, ok := e.Plan.Corruption(e.Epoch, phase, len(keys)); ok {
+		keys[node] ^= mask
+		delta.Corrupted++
+		delta.Injected++
+	}
+	if delta != (faults.Counters{}) {
+		e.Plan.Add(delta)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"productsort/internal/faults"
 	"productsort/internal/graph"
 	"productsort/internal/product"
 	"productsort/internal/routing"
@@ -48,6 +49,14 @@ type Clock struct {
 	// CompareOps is the total number of comparator operations (pairs)
 	// executed, the "work" of the computation.
 	CompareOps int
+	// RecoveryRounds counts the extra rounds charged to fault recovery
+	// (checkpoint-window retries and repair passes); included in
+	// Rounds. Zero on fault-free runs.
+	RecoveryRounds int
+	// Faults aggregates fault-injection and recovery counters when a
+	// fault plan was active; the zero value on fault-free runs keeps
+	// Clock comparable with ==.
+	Faults faults.Counters
 }
 
 // Machine is a product network with one key per node.

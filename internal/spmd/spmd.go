@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"productsort/internal/faults"
 	"productsort/internal/graph"
 	"productsort/internal/product"
 	"productsort/internal/routing"
@@ -29,10 +30,15 @@ import (
 type Key = simnet.Key
 
 // message carries one key toward the processor that must compare it.
+// hops and attempt are the message's own path coordinates; fault
+// decisions key on them (never on scheduler state), so a fault plan's
+// realization is independent of goroutine interleaving.
 type message struct {
-	dst    int // destination node id
-	origin int // sender node id (the partner)
-	key    Key
+	dst     int // destination node id
+	origin  int // sender node id (the partner)
+	key     Key
+	hops    int // forwarding hops taken so far
+	attempt int // retransmission attempt (0 = original send)
 }
 
 // Engine executes oblivious phase schedules over a product network with
@@ -41,6 +47,15 @@ type Engine struct {
 	net   *product.Network
 	plans []*routing.Plan // per dimension (index dim-1), prebuilt: read-only during phases
 	keys  []Key
+
+	// Fault world (nil when fault-free): the plan decides message
+	// drops, duplicates and stalls inside RunPhaseSynchronized, and
+	// survive[dim-1] holds the BFS forwarding plan on the dimension's
+	// surviving factor graph when links are dead (nil = dimension
+	// intact, use the default plan).
+	plan    *faults.Plan
+	survive []*routing.Plan
+	phase   int // phase counter keying fault decisions
 
 	// Stats
 	messages int // total messages injected
@@ -68,6 +83,30 @@ func New(net *product.Network, keys []Key) (*Engine, error) {
 		plans: plans,
 		keys:  append([]Key(nil), keys...),
 	}, nil
+}
+
+// SetFaultPlan attaches a deterministic fault plan to the engine (nil
+// detaches). Dead links are bound per dimension: messages reroute
+// around them via BFS forwarding tables computed on the surviving
+// factor graph, counted as rerouted hops on the plan. Message-level
+// drops, duplicates and node stalls are injected inside
+// RunPhaseSynchronized. Returns an error when a forced dead link does
+// not exist or would disconnect a factor.
+func (e *Engine) SetFaultPlan(p *faults.Plan) error {
+	if p == nil {
+		e.plan, e.survive = nil, nil
+		return nil
+	}
+	survive := make([]*routing.Plan, e.net.R())
+	for dim := 1; dim <= e.net.R(); dim++ {
+		if _, err := p.BindFactor(dim, e.net.FactorAt(dim)); err != nil {
+			return err
+		}
+		survive[dim-1] = p.SurvivingPlan(dim)
+	}
+	e.plan = p
+	e.survive = survive
+	return nil
 }
 
 // Keys returns a copy of the current keys, indexed by node id.
@@ -164,19 +203,36 @@ func (e *Engine) RunPhase(pairs [][2]int) {
 	}
 }
 
-// nextHop returns the neighbor of cur on the way to dst. cur and dst
-// must differ in exactly one dimension; the hop follows the factor
-// graph's shortest-path forwarding table within that dimension, so it
-// always crosses a physical edge.
+// nextHop returns the neighbor of cur on the way to dst, counting a
+// rerouted hop on the fault plan when a dead link forced a detour.
 func (e *Engine) nextHop(cur, dst int) int {
+	hop, rerouted := e.hopTo(cur, dst)
+	if rerouted {
+		e.plan.Add(faults.Counters{Rerouted: 1})
+	}
+	return hop
+}
+
+// hopTo returns the neighbor of cur on the way to dst, and whether the
+// hop deviates from the fault-free forwarding table because a dead link
+// forced a reroute. cur and dst must differ in exactly one dimension;
+// the hop follows that dimension's shortest-path forwarding table —
+// computed on the surviving factor graph when links are dead — so it
+// always crosses a physical (and alive) edge.
+func (e *Engine) hopTo(cur, dst int) (int, bool) {
 	for dim := 1; dim <= e.net.R(); dim++ {
 		dc, dd := e.net.Digit(cur, dim), e.net.Digit(dst, dim)
 		if dc != dd {
-			hop := e.net.SetDigit(cur, dim, e.plans[dim-1].NextHop(dc, dd))
+			def := e.plans[dim-1].NextHop(dc, dd)
+			next := def
+			if e.survive != nil && e.survive[dim-1] != nil {
+				next = e.survive[dim-1].NextHop(dc, dd)
+			}
+			hop := e.net.SetDigit(cur, dim, next)
 			if !e.net.Adjacent(cur, hop) {
 				panic("spmd: forwarding plan produced a non-edge")
 			}
-			return hop
+			return hop, next != def
 		}
 	}
 	panic("spmd: no differing dimension between relay endpoints")
@@ -189,6 +245,11 @@ func (e *Engine) RunSchedule(phases [][][2]int) {
 	}
 }
 
+// maxAttempts bounds retransmissions of one logical message before its
+// pair is abandoned for the phase (the recovery layer's scrub-and-retry
+// handles the fallout).
+const maxAttempts = 8
+
 // RunPhaseSynchronized executes one compare-exchange phase in
 // barrier-synchronized rounds and returns the round count: per round
 // every processor concurrently picks at most one queued message and
@@ -196,10 +257,23 @@ func (e *Engine) RunSchedule(phases [][][2]int) {
 // matching the simulator's full-duplex accounting of exchanges as
 // crossing flows). For phases whose pairs are all adjacent this measures
 // exactly 1 round, the simulator's charge.
+//
+// With a fault plan attached (SetFaultPlan), faults are injected at the
+// message level: a dropped message is retransmitted from its origin on
+// a later round (counted as a retry, up to maxAttempts), duplicated
+// messages travel as extra copies and are discarded at delivery,
+// stalled processors skip a forwarding round, and hops route around
+// dead links via the surviving factor graphs. All extra rounds this
+// costs show up in the returned round count — the measured price of the
+// recovery, in the paper's own units. A pair whose keys never both
+// arrive is skipped (the exchange does not commit; keys are only ever
+// permuted, never invented) and counted unrecoverable for the phase.
 func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 	if len(pairs) == 0 {
 		return 0
 	}
+	phase := e.phase
+	e.phase++
 	n := e.net.Nodes()
 	role := make([]int8, n)
 	partner := make([]int, n)
@@ -217,19 +291,36 @@ func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 	for _, pr := range pairs {
 		for _, self := range []int{pr[0], pr[1]} {
 			queues[self] = append(queues[self], message{dst: partner[self], origin: self, key: e.keys[self]})
-			live += 1
+			live++
 		}
 	}
 	received := make([]Key, n)
+	got := make([]bool, n)
+	maxRounds := 0
+	if e.plan != nil {
+		// Liveness bound under faults: past this, surviving messages are
+		// abandoned and their pairs skipped at commit.
+		maxRounds = 128 + 64*e.net.Diameter() + 8*maxAttempts
+	}
 	rounds := 0
 	for live > 0 {
+		if maxRounds > 0 && rounds >= maxRounds {
+			break
+		}
 		rounds++
 		moved := make([][]message, n)
+		var retrans []message
 		var wg sync.WaitGroup
 		var mu sync.Mutex
-		delivered := 0
+		consumed := 0
+		added := 0
 		for v := 0; v < n; v++ {
 			if len(queues[v]) == 0 {
+				continue
+			}
+			if e.plan != nil && e.plan.NodeStalledRound(phase, rounds, v) {
+				// Stalled processor: its queue waits a round.
+				e.plan.Add(faults.Counters{Stalled: 1, Injected: 1})
 				continue
 			}
 			wg.Add(1)
@@ -239,24 +330,56 @@ func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 				m := queues[self][0]
 				queues[self] = queues[self][1:]
 				if m.dst == self {
-					received[self] = m.key
 					mu.Lock()
-					delivered++
+					if !got[self] {
+						got[self], received[self] = true, m.key
+					}
+					consumed++
 					mu.Unlock()
 					return
 				}
-				hop := e.nextHop(self, m.dst)
-				if hop == m.dst {
-					// Terminal hop: deliver directly.
-					received[m.dst] = m.key
+				if e.plan != nil && e.plan.MessageDropped(phase, m.attempt, m.origin, m.dst, m.hops) {
+					// The message is lost in flight; its origin
+					// retransmits on a later round (bounded attempts).
+					delta := faults.Counters{Dropped: 1, Injected: 1}
 					mu.Lock()
-					delivered++
+					consumed++
+					if m.attempt < maxAttempts {
+						retrans = append(retrans, message{dst: m.dst, origin: m.origin, key: e.keys[m.origin], attempt: m.attempt + 1})
+						delta.Retried = 1
+					}
+					mu.Unlock()
+					e.plan.Add(delta)
+					return
+				}
+				hop, rerouted := e.hopTo(self, m.dst)
+				if rerouted {
+					e.plan.Add(faults.Counters{Rerouted: 1})
+				}
+				dup := e.plan != nil && e.plan.MessageDuplicated(phase, m.attempt, m.origin, m.dst, m.hops)
+				if dup {
+					e.plan.Add(faults.Counters{Duplicated: 1, Injected: 1})
+				}
+				m.hops++
+				if hop == m.dst {
+					// Terminal hop: deliver directly; duplicate copies
+					// of an already-delivered key are discarded.
+					mu.Lock()
+					if !got[m.dst] {
+						got[m.dst], received[m.dst] = true, m.key
+					}
+					consumed++
 					mu.Unlock()
 					return
 				}
 				mu.Lock()
 				moved[hop] = append(moved[hop], m)
 				e.relays++
+				if dup {
+					moved[hop] = append(moved[hop], m)
+					added++
+					e.relays++
+				}
 				mu.Unlock()
 			}(v)
 		}
@@ -264,11 +387,21 @@ func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 		for v := range moved {
 			queues[v] = append(queues[v], moved[v]...)
 		}
-		live -= delivered
+		for _, m := range retrans {
+			queues[m.origin] = append(queues[m.origin], m)
+			added++
+		}
+		live += added - consumed
 	}
 	e.messages += 2 * len(pairs)
 	for _, pr := range pairs {
 		lo, hi := pr[0], pr[1]
+		if e.plan != nil && (!got[lo] || !got[hi]) {
+			// One side never received its partner's key: skip the
+			// exchange so keys are never invented or lost.
+			e.plan.Add(faults.Counters{Unrecoverable: 1})
+			continue
+		}
 		if received[lo] < e.keys[lo] {
 			e.keys[lo] = received[lo]
 		}

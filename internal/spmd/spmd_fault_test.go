@@ -1,0 +1,213 @@
+package spmd
+
+import (
+	"sort"
+	"testing"
+
+	"productsort/internal/faults"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+)
+
+// starRim builds a star with hub 0 plus two rim edges, so the graph
+// stays connected (and every hub spoke has a detour) after losing a
+// spoke — a pure star cannot lose any link without disconnecting.
+//
+//	1 - 2
+//	 \ /
+//	  0
+//	 / \
+//	3 - 4
+func starRim(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New("star-rim", 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Fault-free relay baseline on a star factor: pair (1, 2) exchanges via
+// the hub. Each key takes one relay hop (store at hub, forward next
+// round), and the hub's single port serializes the two deliveries.
+func TestStarRelayBaseline(t *testing.T) {
+	net := product.MustNew(graph.Star(5), 1)
+	e, err := New(net, []Key{0, 9, 3, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := e.RunPhaseSynchronized([][2]int{{1, 2}})
+	if rounds != 3 {
+		t.Errorf("rounds=%d want 3 (2 relayed sends + serialized hub forward)", rounds)
+	}
+	if e.Relays() != 2 || e.Messages() != 2 {
+		t.Errorf("relays=%d messages=%d want 2, 2", e.Relays(), e.Messages())
+	}
+	if ks := e.Keys(); ks[1] != 3 || ks[2] != 9 {
+		t.Errorf("exchange failed: %v", ks)
+	}
+}
+
+// The satellite regression: a failed hub spoke on a star-like factor
+// forces the relay path onto the rim. With link (0,1) dead, the pair
+// (1, 3) exchange reroutes 1-2-0-3 (and back 3-0-2-1): one rerouted
+// hop decision per direction, two relays per key instead of one.
+func TestRelayReroutesAroundDeadLink(t *testing.T) {
+	net := product.MustNew(starRim(t), 1)
+	e, err := New(net, []Key{0, 8, 0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(faults.Config{
+		Seed:      7,
+		DeadLinks: []faults.FactorEdge{{Dim: 1, U: 0, V: 1}},
+	})
+	if err := e.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	rounds := e.RunPhaseSynchronized([][2]int{{1, 3}})
+	if ks := e.Keys(); ks[1] != 5 || ks[3] != 8 {
+		t.Errorf("rerouted exchange failed: %v", ks)
+	}
+	if rounds != 3 {
+		t.Errorf("rounds=%d want 3 (both keys pipeline along 3-hop detours)", rounds)
+	}
+	if e.Relays() != 4 {
+		t.Errorf("relays=%d want 4 (2 store-and-forward hops per key)", e.Relays())
+	}
+	if e.Messages() != 2 {
+		t.Errorf("messages=%d want 2", e.Messages())
+	}
+	c := plan.Counters()
+	if c.Rerouted != 2 {
+		t.Errorf("rerouted=%d want 2 (one detour decision per direction)", c.Rerouted)
+	}
+	if c.DeadLinks != 1 || c.Unrecoverable != 0 {
+		t.Errorf("counters=%+v want 1 dead link, 0 unrecoverable", c)
+	}
+}
+
+// The async relay path (RunPhase / nextHop) takes the same detours.
+func TestAsyncRelayReroutesAroundDeadLink(t *testing.T) {
+	net := product.MustNew(starRim(t), 1)
+	e, err := New(net, []Key{0, 8, 0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(faults.Config{
+		DeadLinks: []faults.FactorEdge{{Dim: 1, U: 0, V: 1}},
+	})
+	if err := e.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	e.RunPhase([][2]int{{1, 3}})
+	if ks := e.Keys(); ks[1] != 5 || ks[3] != 8 {
+		t.Errorf("rerouted exchange failed: %v", ks)
+	}
+	if c := plan.Counters(); c.Rerouted != 2 {
+		t.Errorf("rerouted=%d want 2", c.Rerouted)
+	}
+}
+
+// A forced dead link that would disconnect the factor is refused at
+// bind time (every edge of a pure star is a bridge).
+func TestSetFaultPlanRefusesDisconnection(t *testing.T) {
+	net := product.MustNew(graph.Star(4), 1)
+	e, err := New(net, make([]Key, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(faults.Config{
+		DeadLinks: []faults.FactorEdge{{Dim: 1, U: 0, V: 1}},
+	})
+	if err := e.SetFaultPlan(plan); err == nil {
+		t.Fatal("disconnecting dead link accepted")
+	}
+}
+
+// Dropped messages are retransmitted and the phase still commits the
+// exchange: keys are permuted, never lost, and the drop shows up in
+// both the retry counters and the extra rounds.
+func TestSynchronizedDropRetransmits(t *testing.T) {
+	net := product.MustNew(graph.Cycle(6), 2)
+	keys := randomKeys(net.Nodes(), 3)
+	e, err := New(net, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(faults.Config{Seed: 11, DropRate: 0.3})
+	if err := e.SetFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}}
+	rounds := e.RunPhaseSynchronized(pairs)
+	c := plan.Counters()
+	if c.Dropped == 0 || c.Retried == 0 {
+		t.Fatalf("30%% drop rate over %d messages injected nothing: %+v", 2*len(pairs), c)
+	}
+	if c.Unrecoverable != 0 {
+		t.Fatalf("retransmission failed to recover: %+v", c)
+	}
+	if rounds <= 1 {
+		t.Errorf("rounds=%d: retransmissions must cost extra rounds", rounds)
+	}
+	// Every pair committed: each pair holds its own two keys, ordered.
+	got := e.Keys()
+	for _, pr := range pairs {
+		lo, hi := keys[pr[0]], keys[pr[1]]
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if got[pr[0]] != lo || got[pr[1]] != hi {
+			t.Errorf("pair %v: got (%d,%d) want (%d,%d)", pr, got[pr[0]], got[pr[1]], lo, hi)
+		}
+	}
+}
+
+// Message-level injection is deterministic: the same seed over the same
+// schedule yields byte-identical keys and identical counters, however
+// the goroutines interleave.
+func TestSynchronizedFaultsDeterministic(t *testing.T) {
+	run := func() ([]Key, faults.Counters, int) {
+		net := product.MustNew(graph.Cycle(4), 2)
+		e, err := New(net, randomKeys(net.Nodes(), 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := faults.NewPlan(faults.Config{Seed: 21, DropRate: 0.25, DupRate: 0.2, StallRate: 0.1})
+		if err := e.SetFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		rounds := 0
+		for range [4]struct{}{} {
+			rounds += e.RunPhaseSynchronized([][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+			rounds += e.RunPhaseSynchronized([][2]int{{1, 2}, {5, 6}})
+		}
+		return e.Keys(), plan.Counters(), rounds
+	}
+	k1, c1, r1 := run()
+	k2, c2, r2 := run()
+	if c1 != c2 {
+		t.Fatalf("same seed, counters diverged: %+v vs %+v", c1, c2)
+	}
+	if r1 != r2 {
+		t.Fatalf("same seed, rounds diverged: %d vs %d", r1, r2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("same seed, keys diverged at %d: %v vs %v", i, k1, k2)
+		}
+	}
+	if c1.Injected == 0 {
+		t.Error("plan injected nothing at these rates")
+	}
+	// No key invented or lost: the multiset is preserved.
+	orig := randomKeys(16, 9)
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	sort.Slice(k1, func(i, j int) bool { return k1[i] < k1[j] })
+	for i := range orig {
+		if orig[i] != k1[i] {
+			t.Fatalf("key multiset changed: %v vs %v", orig, k1)
+		}
+	}
+}

@@ -186,6 +186,9 @@ type Result struct {
 	RoutedPhases int
 	// Engine is the S_2 engine used.
 	Engine string
+	// Faults carries the fault-injection and recovery accounting of a
+	// SortResilient run; nil for fault-free sorts.
+	Faults *FaultReport
 }
 
 // Sorter configures the algorithm.

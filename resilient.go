@@ -1,0 +1,150 @@
+// Fault-tolerant sorting: the public face of the deterministic fault
+// injection and self-healing replay machinery (internal/faults,
+// schedule.ResilientBackend).
+
+package productsort
+
+import (
+	"errors"
+	"fmt"
+
+	"productsort/internal/faults"
+	"productsort/internal/schedule"
+)
+
+// ErrUnrecoverable reports that fault recovery was exhausted: a key
+// corruption survived every retry, or the repair budget ran out before
+// the output sorted. The accompanying Result still carries the full
+// fault accounting.
+var ErrUnrecoverable = schedule.ErrUnrecoverable
+
+// DeadLink names one factor-graph edge forced dead for a whole run:
+// the dimension (1-based) and the factor edge's endpoints.
+type DeadLink struct {
+	Dim, U, V int
+}
+
+// FaultConfig configures deterministic fault injection for
+// SortResilient. Rates are per-decision probabilities in [0, 1]; the
+// zero value injects nothing. Every fault is a pure function of Seed,
+// so a run is exactly reproducible — same seed, same faults, same
+// recovery, same counters.
+type FaultConfig struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// DropRate is the chance a pair's key exchange is lost in flight
+	// (it is retransmitted, at a round's cost per attempt).
+	DropRate float64
+	// StallRate is the chance a processor sits out a round (its
+	// exchanges wait, a round's cost per stalled round).
+	StallRate float64
+	// CorruptRate is the chance a phase flips one bit of one key
+	// (detected by checksum scrub, healed by checkpoint retry).
+	CorruptRate float64
+	// LinkFailRate kills factor-graph links at bind time (bridges are
+	// spared so factors stay connected); affected exchanges reroute.
+	LinkFailRate float64
+	// MaxDeadLinks caps the rate-chosen dead links per factor
+	// (0 = no cap).
+	MaxDeadLinks int
+	// DeadLinks forces specific factor edges dead. A link that does
+	// not exist or whose loss would disconnect the factor is an error.
+	DeadLinks []DeadLink
+	// CheckpointEvery is the checkpoint interval K in exchange phases
+	// (<1 = default 16); see THEORY.md for the overhead trade-off.
+	CheckpointEvery int
+	// MaxRetries bounds full-window retries before the window is
+	// halved (<1 = default 3).
+	MaxRetries int
+	// MaxRepairPasses bounds whole-program repair replays after the
+	// final sortedness scrub (<1 = default 3).
+	MaxRepairPasses int
+}
+
+// FaultReport surfaces what was injected and what recovery did (and
+// cost) during one resilient sort.
+type FaultReport struct {
+	// Injected totals every realized fault.
+	Injected int
+	// Dropped, Stalled, Corrupted and DeadLinks break the injections
+	// down by kind.
+	Dropped, Stalled, Corrupted, DeadLinks int
+	// Detected counts scrub detections (checksum or sortedness).
+	Detected int
+	// Retried counts retransmissions and window retries.
+	Retried int
+	// RepairPasses counts whole-program repair replays.
+	RepairPasses int
+	// Rerouted counts exchanges forced onto detours by dead links.
+	Rerouted int
+	// Unrecoverable counts faults recovery had to give up on.
+	Unrecoverable int
+	// RecoveryRounds is the extra parallel time recovery cost,
+	// included in Result.Rounds.
+	RecoveryRounds int
+}
+
+// SortResilient replays the compiled program over keys (snake order,
+// like Sort) under deterministic fault injection with self-healing
+// recovery: checkpoint every K phases, checksum scrubbing, bounded
+// retry from checkpoint with window-halving backoff, stall waits and
+// drop retransmissions charged as rounds, rerouting (with degraded
+// round pricing) around dead links, and a final sortedness scrub with
+// bounded repair replays. The Result's Rounds includes the recovery
+// cost, and Result.Faults reports the full accounting.
+//
+// A zero cfg injects nothing and is equivalent to Sort. On exhausted
+// recovery the keys-so-far and the report are returned alongside
+// ErrUnrecoverable.
+func (c *CompiledNetwork) SortResilient(keys []Key, cfg FaultConfig) (*Result, error) {
+	if len(keys) != c.nw.Nodes() {
+		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), c.nw.Nodes())
+	}
+	fc := faults.Config{
+		Seed:         cfg.Seed,
+		DropRate:     cfg.DropRate,
+		StallRate:    cfg.StallRate,
+		CorruptRate:  cfg.CorruptRate,
+		LinkFailRate: cfg.LinkFailRate,
+		MaxDeadLinks: cfg.MaxDeadLinks,
+	}
+	for _, dl := range cfg.DeadLinks {
+		fc.DeadLinks = append(fc.DeadLinks, faults.FactorEdge{Dim: dl.Dim, U: dl.U, V: dl.V})
+	}
+	for _, rate := range []float64{fc.DropRate, fc.StallRate, fc.CorruptRate, fc.LinkFailRate} {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("productsort: fault rate %v outside [0, 1]", rate)
+		}
+	}
+	byNode := make([]Key, len(keys))
+	for pos, k := range keys {
+		byNode[c.nw.net.NodeAtSnake(pos)] = k
+	}
+	rb := schedule.ResilientBackend{
+		Inner:           schedule.ExecBackend{Exec: c.exec},
+		Plan:            faults.NewPlan(fc),
+		CheckpointEvery: cfg.CheckpointEvery,
+		MaxRetries:      cfg.MaxRetries,
+		MaxRepairPasses: cfg.MaxRepairPasses,
+	}
+	clk, err := rb.Run(c.prog, byNode)
+	if err != nil && !errors.Is(err, ErrUnrecoverable) {
+		return nil, err
+	}
+	res := newResult(c.nw, clk, c.prog.Engine(), byNode)
+	fr := &FaultReport{
+		Injected:       clk.Faults.Injected,
+		Dropped:        clk.Faults.Dropped,
+		Stalled:        clk.Faults.Stalled,
+		Corrupted:      clk.Faults.Corrupted,
+		DeadLinks:      clk.Faults.DeadLinks,
+		Detected:       clk.Faults.Detected,
+		Retried:        clk.Faults.Retried,
+		RepairPasses:   clk.Faults.RepairPasses,
+		Rerouted:       clk.Faults.Rerouted,
+		Unrecoverable:  clk.Faults.Unrecoverable,
+		RecoveryRounds: clk.RecoveryRounds,
+	}
+	res.Faults = fr
+	return res, err
+}

@@ -1,0 +1,145 @@
+package productsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func shuffled(n int, seed int64) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	return keys
+}
+
+func TestSortResilientQuietMatchesSort(t *testing.T) {
+	nw, err := Torus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := shuffled(nw.Nodes(), 1)
+	plain, err := c.Sort(append([]Key(nil), keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SortResilient(append([]Key(nil), keys...), FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != plain.Rounds {
+		t.Errorf("quiet resilient rounds %d != %d", res.Rounds, plain.Rounds)
+	}
+	if res.Faults.Injected != 0 || res.Faults.RecoveryRounds != 0 {
+		t.Errorf("quiet run reported faults: %+v", res.Faults)
+	}
+	for i := range plain.Keys {
+		if res.Keys[i] != plain.Keys[i] {
+			t.Fatal("quiet resilient sort diverged from Sort")
+		}
+	}
+}
+
+func TestSortResilientHealsFaults(t *testing.T) {
+	nw, err := MeshConnectedTrees(2, 2) // non-Hamiltonian factor: routed sweeps
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := shuffled(nw.Nodes(), 2)
+	want := append([]Key(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	cfg := FaultConfig{Seed: 77, DropRate: 0.05, StallRate: 0.03, CorruptRate: 0.05}
+	res, err := c.SortResilient(keys, cfg)
+	if err != nil {
+		t.Fatalf("%v (report %+v)", err, res)
+	}
+	if !IsSorted(res.Keys) {
+		t.Fatal("resilient sort output not sorted")
+	}
+	for i := range want {
+		if res.Keys[i] != want[i] {
+			t.Fatal("resilient sort corrupted the key multiset")
+		}
+	}
+	if res.Faults == nil || res.Faults.Injected == 0 {
+		t.Fatalf("no faults reported at 5%% rates: %+v", res.Faults)
+	}
+	if res.Faults.RecoveryRounds == 0 {
+		t.Error("recovery cost no rounds despite injections")
+	}
+	if res.Rounds <= c.Rounds() {
+		t.Errorf("faulted rounds %d not above fault-free %d", res.Rounds, c.Rounds())
+	}
+
+	// Determinism at the API level: same seed, same everything.
+	res2, err := c.SortResilient(shuffled(nw.Nodes(), 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Faults != *res2.Faults || res.Rounds != res2.Rounds {
+		t.Errorf("same seed, reports diverged:\n%+v\n%+v", res.Faults, res2.Faults)
+	}
+}
+
+func TestSortResilientDeadLink(t *testing.T) {
+	nw, err := Torus(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SortResilient(shuffled(nw.Nodes(), 3), FaultConfig{
+		Seed:      5,
+		DeadLinks: []DeadLink{{Dim: 2, U: 1, V: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(res.Keys) {
+		t.Fatal("degraded sort output not sorted")
+	}
+	if res.Faults.DeadLinks != 1 || res.Faults.Rerouted == 0 {
+		t.Errorf("dead-link accounting wrong: %+v", res.Faults)
+	}
+	if res.Rounds <= c.Rounds() {
+		t.Errorf("degraded rounds %d not above intact %d", res.Rounds, c.Rounds())
+	}
+
+	// A disconnecting dead link is refused up front.
+	if _, err := c.SortResilient(shuffled(nw.Nodes(), 3), FaultConfig{
+		DeadLinks: []DeadLink{{Dim: 1, U: 0, V: 3}},
+	}); err == nil {
+		t.Error("non-edge dead link accepted")
+	}
+}
+
+func TestSortResilientRejectsBadRates(t *testing.T) {
+	nw, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SortResilient(shuffled(nw.Nodes(), 1), FaultConfig{DropRate: 1.5}); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	if _, err := c.SortResilient(shuffled(nw.Nodes(), 1), FaultConfig{CorruptRate: -0.1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
