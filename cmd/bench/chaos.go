@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"time"
@@ -141,12 +140,7 @@ func runChaosBench(path string, seeds int) error {
 	table.Note("%d seeds per cell; every run verified sorted; overhead = faulted/fault-free rounds, averaged", seeds)
 	table.Render(os.Stdout)
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeJSONArtifact(path, report); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))

@@ -3,22 +3,37 @@
 //
 // Usage:
 //
-//	bench            # run all experiments
-//	bench -exp e3    # run one experiment
-//	bench -list      # list experiments
+//	bench                  # run all experiments
+//	bench -exp e3          # run one experiment
+//	bench -list            # list experiments
+//	bench -trace t.json    # trace one sort, write a Chrome trace
+//	bench -schedule        # cold-vs-warm schedule benchmark
+//	bench -chaos           # resilient sorts under injected faults
+//
+// Profiling flags (-cpuprofile, -memprofile) apply to every mode, so a
+// single run produces a flamegraph-able profile alongside its output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"productsort/internal/cli"
 	"productsort/internal/exp"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the selected mode and returns the process exit code.
+// All failure paths return (never os.Exit) so profile flushing and
+// other defers run.
+func run() int {
 	expID := flag.String("exp", "", "experiment id (e1..e14); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
@@ -30,28 +45,75 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run resilient sorts under injected faults across topologies and exit")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -chaos")
 	chaosSeeds := flag.Int("seeds", 5, "fault seeds per (topology, scenario) cell for -chaos")
+	tracePath := flag.String("trace", "", "trace one sort on the selected network (-network/-n/-r), write Chrome trace_event JSON to this path, and exit")
+	metricsPath := flag.String("metricsout", "", "with -trace: also write the metrics registry snapshot as JSON to this path")
+	traceSeed := flag.Int64("traceseed", 1, "workload seed for -trace")
+	faultSeed := flag.Int64("faultseed", 0, "with -trace: overlay deterministic faults with this seed (0 = fault-free)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	netFlags := cli.RegisterNetworkFlags(nil)
 	flag.Parse()
 
-	if *schedMode {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	switch {
+	case *tracePath != "":
+		if err := runTrace(netFlags, *tracePath, *metricsPath, *traceSeed, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *schedMode:
 		if err := runScheduleBench(*schedOut, *schedSets, *schedWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
-	}
-	if *chaosMode {
+		return 0
+	case *chaosMode:
 		if err := runChaosBench(*chaosOut, *chaosSeeds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	for _, d := range []string{*outDir, *csvDir} {
 		if d != "" {
 			if err := os.MkdirAll(d, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -60,7 +122,7 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	var toRun []exp.Experiment
 	if *expID == "" {
@@ -69,7 +131,7 @@ func main() {
 		e, err := exp.ByID(*expID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		toRun = []exp.Experiment{e}
 	}
@@ -78,23 +140,62 @@ func main() {
 		res := e.Run()
 		res.Render(os.Stdout)
 		if *outDir != "" {
-			f, err := os.Create(filepath.Join(*outDir, e.ID+".txt"))
-			if err != nil {
+			if err := renderToFile(res, filepath.Join(*outDir, e.ID+".txt")); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			res.Render(f)
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *csvDir != "" {
 			if _, err := res.WriteCSVs(*csvDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// errWriter forwards writes to an underlying writer and remembers the
+// first error, so renderers that do not propagate I/O errors (Render
+// writes through fmt and drops them) still fail the run on a bad disk
+// instead of leaving a silently truncated artifact.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+// Write implements io.Writer.
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// renderToFile writes res's rendering to path, propagating every write,
+// sync and close error.
+func renderToFile(res *exp.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	ew := &errWriter{w: f}
+	res.Render(ew)
+	if ew.err != nil {
+		f.Close()
+		return fmt.Errorf("bench: writing %s: %w", path, ew.err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench: closing %s: %w", path, err)
+	}
+	return nil
 }

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -132,12 +130,7 @@ func runScheduleBench(path string, sets, workers int) error {
 	}
 	report.Compiles = schedule.Stats().Compiles
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeJSONArtifact(path, report); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d sets, %d workers)\n", path, sets, workers)

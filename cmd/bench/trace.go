@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"productsort"
+	"productsort/internal/cli"
+	"productsort/internal/workload"
+)
+
+// runTrace performs one traced sort on the network selected by the CLI
+// flags (default: the 4×4×4 grid, a PG_3 instance), writes a Chrome
+// trace_event JSON file, prints the per-phase round/time breakdown
+// against the paper's predicted S_r(N), and cross-checks that the trace
+// accounts for exactly the rounds the clock charged. With faultSeed !=
+// 0 the run goes through the resilient replay, so the trace also
+// carries checkpoint/scrub/retry instant events.
+func runTrace(netFlags *cli.NetworkFlags, tracePath, metricsPath string, seed, faultSeed int64) error {
+	nw, err := netFlags.Build()
+	if err != nil {
+		return err
+	}
+	recorder := productsort.NewTraceRecorder()
+	metrics := productsort.NewMetrics()
+	sorter, err := productsort.NewSorter(
+		productsort.WithTracer(productsort.MultiTracer(recorder, productsort.NewMetricsCollector(metrics))))
+	if err != nil {
+		return err
+	}
+	c, err := sorter.Compile(nw)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.ByName("uniform")
+	if err != nil {
+		return err
+	}
+	keys := gen(nw.Nodes(), seed)
+	var res *productsort.Result
+	if faultSeed != 0 {
+		res, err = c.SortResilient(keys, productsort.FaultConfig{
+			Seed: faultSeed, DropRate: 0.02, StallRate: 0.02, CorruptRate: 0.02,
+		})
+	} else {
+		res, err = c.Sort(keys)
+	}
+	if err != nil {
+		return err
+	}
+	if !productsort.IsSorted(res.Keys) {
+		return fmt.Errorf("trace: output not sorted on %s", nw.Name())
+	}
+
+	// The trace must account for exactly what the clock charged. On a
+	// fault-free run the phase events' round charges sum to the clock's
+	// Rounds; under faults the phase stream additionally contains every
+	// re-executed (retried/repaired) phase, whose charges are carried
+	// by the recovery events instead, so there the recovery events must
+	// sum to the clock's RecoveryRounds.
+	if res.Faults == nil {
+		if got := recorder.RoundTotal(); got != res.Rounds {
+			return fmt.Errorf("trace: phase events sum to %d rounds, clock charged %d", got, res.Rounds)
+		}
+	} else {
+		if got := recorder.RecoveryRounds(); got != res.Faults.RecoveryRounds {
+			return fmt.Errorf("trace: recovery events sum to %d rounds, clock charged %d", got, res.Faults.RecoveryRounds)
+		}
+		if got, base := recorder.RoundTotal(), res.Rounds-res.Faults.RecoveryRounds; got < base {
+			return fmt.Errorf("trace: phase events sum to %d rounds, below the %d base rounds", got, base)
+		}
+	}
+
+	fmt.Printf("%s: %d nodes, engine %s\n", nw.Name(), nw.Nodes(), res.Engine)
+	if predicted, err := nw.PredictedRounds(res.Engine); err == nil {
+		fmt.Printf("rounds: measured %d (s2 %d + sweep %d), predicted S_r(N) = %d\n",
+			res.Rounds, res.S2Rounds, res.SweepRounds, predicted)
+	} else {
+		fmt.Printf("rounds: measured %d (s2 %d + sweep %d)\n", res.Rounds, res.S2Rounds, res.SweepRounds)
+	}
+	fmt.Printf("phases: %d s2 invocations ((r-1)² = %d), %d sweeps ((r-1)(r-2) = %d)\n",
+		res.S2Phases, (nw.Dims()-1)*(nw.Dims()-1), res.Sweeps, (nw.Dims()-1)*(nw.Dims()-2))
+	if res.Faults != nil {
+		fmt.Printf("faults: %d injected, %d detected, %d retried, %d recovery rounds\n",
+			res.Faults.Injected, res.Faults.Detected, res.Faults.Retried, res.Faults.RecoveryRounds)
+	}
+	fmt.Println()
+	if err := recorder.WriteBreakdown(os.Stdout); err != nil {
+		return err
+	}
+
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := productsort.WriteChromeTrace(recorder, f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", tracePath, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: syncing %s: %w", tracePath, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: closing %s: %w", tracePath, err)
+	}
+	fmt.Printf("\nwrote %s (%d phase events; open with chrome://tracing or https://ui.perfetto.dev)\n",
+		tracePath, recorder.Phases())
+
+	if metricsPath != "" {
+		if err := writeJSONArtifact(metricsPath, metrics.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsPath)
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+// Recorder: an in-memory Tracer that timestamps events and exports the
+// run as Chrome trace_event JSON (chrome://tracing, Perfetto, speedscope
+// all open it) plus a per-phase round/time breakdown table.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// recorded is one completed phase with wall-clock timing.
+type recorded struct {
+	Phase
+	start time.Time
+	dur   time.Duration
+}
+
+// recRecovery is one recovery event with its receipt time.
+type recRecovery struct {
+	Recovery
+	at time.Time
+}
+
+// recMessages is one message-stats event with its receipt time.
+type recMessages struct {
+	Messages
+	at time.Time
+}
+
+// Recorder collects timestamped events. It is safe for concurrent use,
+// but phase begin/end matching is keyed by op index, so feed it from
+// one replay at a time (use one Recorder per run; they are cheap).
+type Recorder struct {
+	mu       sync.Mutex
+	start    time.Time
+	open     map[int]time.Time // op index -> begin time
+	phases   []recorded
+	recovery []recRecovery
+	messages []recMessages
+}
+
+// NewRecorder returns an empty recorder; its time origin is set on the
+// first event.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[int]time.Time)}
+}
+
+// now stamps the origin lazily so traces start near zero.
+func (r *Recorder) now() time.Time {
+	t := time.Now()
+	if r.start.IsZero() {
+		r.start = t
+	}
+	return t
+}
+
+// PhaseBegin implements Tracer.
+func (r *Recorder) PhaseBegin(p Phase) {
+	r.mu.Lock()
+	r.open[p.Index] = r.now()
+	r.mu.Unlock()
+}
+
+// PhaseEnd implements Tracer.
+func (r *Recorder) PhaseEnd(p Phase) {
+	r.mu.Lock()
+	end := r.now()
+	begin, ok := r.open[p.Index]
+	if !ok {
+		begin = end // end without begin: record as instant
+	} else {
+		delete(r.open, p.Index)
+	}
+	r.phases = append(r.phases, recorded{Phase: p, start: begin, dur: end.Sub(begin)})
+	r.mu.Unlock()
+}
+
+// RecoveryEvent implements Tracer.
+func (r *Recorder) RecoveryEvent(ev Recovery) {
+	r.mu.Lock()
+	r.recovery = append(r.recovery, recRecovery{Recovery: ev, at: r.now()})
+	r.mu.Unlock()
+}
+
+// MessageStats implements Tracer.
+func (r *Recorder) MessageStats(s Messages) {
+	r.mu.Lock()
+	r.messages = append(r.messages, recMessages{Messages: s, at: r.now()})
+	r.mu.Unlock()
+}
+
+// Phases returns the number of completed phase events.
+func (r *Recorder) Phases() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.phases)
+}
+
+// RoundTotal sums the round charges of every recorded phase — the
+// quantity that must equal the replay clock's Rounds on a fault-free
+// run (recovery rounds are reported separately, see RecoveryRounds).
+func (r *Recorder) RoundTotal() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for i := range r.phases {
+		total += r.phases[i].Cost
+	}
+	return total
+}
+
+// RecoveryRounds sums the recovery round charges of every recovery
+// event.
+func (r *Recorder) RecoveryRounds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for i := range r.recovery {
+		total += r.recovery[i].Rounds
+	}
+	return total
+}
+
+// RecoveryCount returns the total multiplicity of recovery events of
+// the given kind.
+func (r *Recorder) RecoveryCount(kind RecoveryKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.recovery {
+		if r.recovery[i].Kind == kind {
+			n += r.recovery[i].N()
+		}
+	}
+	return n
+}
+
+// PhaseStat is one row of the per-phase breakdown: all phases sharing a
+// (kind, dimension, attribution) bucket.
+type PhaseStat struct {
+	Kind   PhaseKind     `json:"-"`
+	KindS  string        `json:"kind"`
+	Dim    int           `json:"dim"`
+	S2     bool          `json:"s2"`
+	Phases int           `json:"phases"`
+	Rounds int           `json:"rounds"`
+	Pairs  int           `json:"pairs"`
+	Wall   time.Duration `json:"wallNs"`
+}
+
+// Breakdown aggregates the recorded phases per (kind, dim, S2) bucket,
+// ordered by rounds descending — the table that gets diffed against the
+// paper's predicted S_r(N) split.
+func (r *Recorder) Breakdown() []PhaseStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type key struct {
+		kind PhaseKind
+		dim  int
+		s2   bool
+	}
+	agg := make(map[key]*PhaseStat)
+	for i := range r.phases {
+		p := &r.phases[i]
+		k := key{p.Kind, p.Dim, p.S2}
+		st, ok := agg[k]
+		if !ok {
+			st = &PhaseStat{Kind: p.Kind, KindS: p.Kind.String(), Dim: p.Dim, S2: p.S2}
+			agg[k] = st
+		}
+		st.Phases++
+		st.Rounds += p.Cost
+		st.Pairs += p.Pairs
+		st.Wall += p.dur
+	}
+	out := make([]PhaseStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rounds != out[j].Rounds {
+			return out[i].Rounds > out[j].Rounds
+		}
+		if out[i].Dim != out[j].Dim {
+			return out[i].Dim < out[j].Dim
+		}
+		return out[i].KindS < out[j].KindS
+	})
+	return out
+}
+
+// WriteBreakdown renders the per-phase breakdown as an aligned text
+// table.
+func (r *Recorder) WriteBreakdown(w io.Writer) error {
+	stats := r.Breakdown()
+	totalRounds := 0
+	var totalWall time.Duration
+	for _, st := range stats {
+		totalRounds += st.Rounds
+		totalWall += st.Wall
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %4s %-6s %8s %8s %10s %12s\n",
+		"kind", "dim", "stage", "phases", "rounds", "pairs", "wall"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		stage := "sweep"
+		if st.S2 {
+			stage = "s2"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %4d %-6s %8d %8d %10d %12v\n",
+			st.KindS, st.Dim, stage, st.Phases, st.Rounds, st.Pairs,
+			st.Wall.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-10s %4s %-6s %8s %8d %10s %12v\n",
+		"total", "", "", "", totalRounds, "", totalWall.Round(time.Microsecond))
+	return err
+}
+
+// traceEvent is one entry of the Chrome trace_event JSON array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" events
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+}
+
+// chromeTrace is the trace_event JSON object format (the array format
+// is also valid, but the object form carries metadata).
+type chromeTrace struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// micros converts a wall-clock time to trace microseconds from origin.
+func (r *Recorder) micros(t time.Time) float64 {
+	return float64(t.Sub(r.start)) / float64(time.Microsecond)
+}
+
+// WriteChromeTrace exports the recorded events in Chrome trace_event
+// JSON format: one complete ("X") event per phase on a thread per
+// dimension (idle rounds on tid 0), instant ("i") events for recovery,
+// and counter rows for message traffic. Open with chrome://tracing,
+// https://ui.perfetto.dev, or speedscope.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"generator": "productsort cmd/bench -trace",
+			"phases":    len(r.phases),
+		},
+	}
+	tr.TraceEvents = append(tr.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "productsort replay"}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 0, Args: map[string]any{"name": "idle / mixed"}})
+	seenDims := map[int]bool{}
+	for i := range r.phases {
+		p := &r.phases[i]
+		if p.Dim > 0 && !seenDims[p.Dim] {
+			seenDims[p.Dim] = true
+			tr.TraceEvents = append(tr.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: p.Dim,
+				Args: map[string]any{"name": fmt.Sprintf("dimension %d", p.Dim)},
+			})
+		}
+		stage := "sweep"
+		if p.S2 {
+			stage = "s2"
+		}
+		tr.TraceEvents = append(tr.TraceEvents, traceEvent{
+			Name: fmt.Sprintf("%s d%d", p.Kind, p.Dim),
+			Cat:  stage,
+			Ph:   "X",
+			Ts:   r.micros(p.start),
+			Dur:  float64(p.dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  p.Dim,
+			Args: map[string]any{
+				"op":     p.Index,
+				"kind":   p.Kind.String(),
+				"dim":    p.Dim,
+				"stage":  stage,
+				"rounds": p.Cost,
+				"pairs":  p.Pairs,
+			},
+		})
+	}
+	for i := range r.recovery {
+		ev := &r.recovery[i]
+		args := map[string]any{
+			"kind":   ev.Kind.String(),
+			"rounds": ev.Rounds,
+			"count":  ev.N(),
+		}
+		if ev.Lo >= 0 || ev.Hi >= 0 {
+			args["window"] = fmt.Sprintf("[%d,%d)", ev.Lo, ev.Hi)
+		}
+		if ev.Phase >= 0 {
+			args["op"] = ev.Phase
+		}
+		tr.TraceEvents = append(tr.TraceEvents, traceEvent{
+			Name: "recovery: " + ev.Kind.String(),
+			Cat:  "recovery",
+			Ph:   "i",
+			S:    "p",
+			Ts:   r.micros(ev.at),
+			Pid:  1,
+			Tid:  0,
+			Args: args,
+		})
+	}
+	for i := range r.messages {
+		ev := &r.messages[i]
+		tr.TraceEvents = append(tr.TraceEvents, traceEvent{
+			Name: "spmd traffic",
+			Ph:   "C",
+			Ts:   r.micros(ev.at),
+			Pid:  1,
+			Tid:  0,
+			Args: map[string]any{"sent": ev.Sent, "relays": ev.Relays},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

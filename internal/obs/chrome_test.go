@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// feed pushes a small synthetic run through a recorder.
+func feed(r *Recorder) {
+	for i := 0; i < 3; i++ {
+		p := Phase{Index: i, Kind: PhaseExchange, Dim: 1 + i%2, S2: i < 2, Cost: 1, Pairs: 4}
+		r.PhaseBegin(p)
+		r.PhaseEnd(p)
+	}
+	routed := Phase{Index: 3, Kind: PhaseRouted, Dim: 2, Cost: 3, Pairs: 2}
+	r.PhaseBegin(routed)
+	r.PhaseEnd(routed)
+	r.RecoveryEvent(Recovery{Kind: RecoveryCheckpoint, Lo: 0, Hi: 4, Phase: -1})
+	r.RecoveryEvent(Recovery{Kind: RecoveryReplay, Lo: 0, Hi: 4, Phase: -1, Rounds: 6})
+	r.MessageStats(Messages{Phase: 0, Sent: 8, Relays: 2, Rounds: 1})
+}
+
+func TestRecorderTotals(t *testing.T) {
+	r := NewRecorder()
+	feed(r)
+	if got := r.Phases(); got != 4 {
+		t.Fatalf("phases = %d, want 4", got)
+	}
+	if got := r.RoundTotal(); got != 6 {
+		t.Fatalf("round total = %d, want 6", got)
+	}
+	if got := r.RecoveryRounds(); got != 6 {
+		t.Fatalf("recovery rounds = %d, want 6", got)
+	}
+	if got := r.RecoveryCount(RecoveryCheckpoint); got != 1 {
+		t.Fatalf("checkpoint count = %d, want 1", got)
+	}
+	if got := r.RecoveryCount(RecoveryRetry); got != 0 {
+		t.Fatalf("retry count = %d, want 0", got)
+	}
+}
+
+func TestRecorderBreakdown(t *testing.T) {
+	r := NewRecorder()
+	feed(r)
+	stats := r.Breakdown()
+	total := 0
+	for _, st := range stats {
+		total += st.Rounds
+	}
+	if total != r.RoundTotal() {
+		t.Fatalf("breakdown rounds %d != total %d", total, r.RoundTotal())
+	}
+	// Buckets: (exchange,1,s2), (exchange,2,s2), (exchange,1..2,sweep?) —
+	// feed produces dims 1,2,1 with S2 true,true,false plus routed d2.
+	if len(stats) != 4 {
+		t.Fatalf("breakdown buckets = %d, want 4: %+v", len(stats), stats)
+	}
+	// Sorted by rounds descending: the routed phase (3 rounds) first.
+	if stats[0].Kind != PhaseRouted || stats[0].Rounds != 3 {
+		t.Fatalf("top bucket = %+v, want routed/3", stats[0])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteBreakdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"routed", "exchange", "total", "s2", "sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	r := NewRecorder()
+	feed(r)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var complete, instant, counter, meta int
+	roundSum := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			roundSum += int(ev.Args["rounds"].(float64))
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("negative ts/dur: %+v", ev)
+			}
+		case "i":
+			instant++
+		case "C":
+			counter++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if roundSum != r.RoundTotal() {
+		t.Fatalf("trace round sum %d != recorder total %d", roundSum, r.RoundTotal())
+	}
+	if instant != 2 || counter != 1 || meta < 2 {
+		t.Fatalf("instant=%d counter=%d meta=%d", instant, counter, meta)
+	}
+}
+
+func TestRecorderEndWithoutBegin(t *testing.T) {
+	r := NewRecorder()
+	r.PhaseEnd(Phase{Index: 7, Kind: PhaseExchange, Cost: 1})
+	if got := r.Phases(); got != 1 {
+		t.Fatalf("phases = %d, want 1 (recorded as instant)", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// with a JSON-marshalable snapshot. Instruments are created once and
+// cached by name; observation paths are lock-free (atomics over
+// preallocated slots), so a hot loop can hold an instrument pointer and
+// observe without touching the registry again.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas are
+// ignored so a counter can never run backwards).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 level.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into a fixed, ascending bucket layout.
+// An observation v lands in the first bucket with v <= bound; values
+// above every bound land in the implicit +Inf bucket. The layout is
+// frozen at creation so snapshots are always comparable.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// RoundBuckets is the default bucket layout for per-phase round
+// charges: single-hop phases land in the first bucket, routed phases
+// spread over the rest.
+var RoundBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// DurationBucketsNs is the default bucket layout for wall-clock phase
+// durations, in nanoseconds (1µs .. ~1s, powers of four).
+var DurationBucketsNs = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_024_000, 4_096_000, 16_384_000, 65_536_000, 262_144_000, 1_048_576_000,
+}
+
+// Metrics is a registry of named instruments. The zero value is not
+// usable; call NewMetrics. All methods are safe for concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with
+// the given ascending bucket bounds. A second registration of the same
+// name returns the existing histogram; it panics if the requested
+// layout differs, since mixing layouts would corrupt the snapshot.
+func (m *Metrics) Histogram(name string, bounds []int64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.histograms[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different layout", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different layout", name))
+			}
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	m.histograms[name] = h
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the ascending upper bucket bounds; Counts has one more
+	// entry than Bounds (the +Inf bucket).
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable copy of a registry.
+// Map iteration order is irrelevant: encoding/json sorts keys.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{}
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for name, c := range m.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(m.gauges))
+		for name, g := range m.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(m.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(m.histograms))
+		for name, h := range m.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.Sum(),
+				Count:  h.Count(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (m *Metrics) CounterNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Collector is a Tracer that folds events into a Metrics registry: the
+// bridge between the event stream and long-lived aggregates. Metric
+// names are stable; see the package tests for the full set.
+type Collector struct {
+	m *Metrics
+
+	phases       *Counter
+	routed       *Counter
+	idle         *Counter
+	rounds       *Counter
+	s2Rounds     *Counter
+	sweepRounds  *Counter
+	pairs        *Counter
+	phaseRounds  *Histogram
+	recRounds    *Counter
+	recEvents    *Counter
+	msgSent      *Counter
+	msgRelays    *Counter
+	msgRounds    *Counter
+	recoveryKind [RecoveryUnrecoverable + 1]*Counter
+}
+
+// NewCollector returns a Collector feeding m (NewMetrics() when nil).
+func NewCollector(m *Metrics) *Collector {
+	if m == nil {
+		m = NewMetrics()
+	}
+	c := &Collector{
+		m:           m,
+		phases:      m.Counter("phases.total"),
+		routed:      m.Counter("phases.routed"),
+		idle:        m.Counter("phases.idle"),
+		rounds:      m.Counter("rounds.total"),
+		s2Rounds:    m.Counter("rounds.s2"),
+		sweepRounds: m.Counter("rounds.sweep"),
+		pairs:       m.Counter("compare.ops"),
+		phaseRounds: m.Histogram("phase.rounds", RoundBuckets),
+		recRounds:   m.Counter("recovery.rounds"),
+		recEvents:   m.Counter("recovery.events"),
+		msgSent:     m.Counter("spmd.messages"),
+		msgRelays:   m.Counter("spmd.relays"),
+		msgRounds:   m.Counter("spmd.rounds"),
+	}
+	for k := RecoveryCheckpoint; k <= RecoveryUnrecoverable; k++ {
+		c.recoveryKind[k] = m.Counter("recovery." + k.String())
+	}
+	return c
+}
+
+// Metrics returns the registry the collector feeds.
+func (c *Collector) Metrics() *Metrics { return c.m }
+
+// PhaseBegin implements Tracer (all aggregation happens at PhaseEnd).
+func (c *Collector) PhaseBegin(Phase) {}
+
+// PhaseEnd implements Tracer.
+func (c *Collector) PhaseEnd(p Phase) {
+	c.phases.Inc()
+	switch p.Kind {
+	case PhaseRouted:
+		c.routed.Inc()
+	case PhaseIdle:
+		c.idle.Inc()
+	}
+	c.rounds.Add(int64(p.Cost))
+	if p.S2 {
+		c.s2Rounds.Add(int64(p.Cost))
+	} else {
+		c.sweepRounds.Add(int64(p.Cost))
+	}
+	c.pairs.Add(int64(p.Pairs))
+	c.phaseRounds.Observe(int64(p.Cost))
+}
+
+// RecoveryEvent implements Tracer.
+func (c *Collector) RecoveryEvent(r Recovery) {
+	c.recEvents.Add(int64(r.N()))
+	c.recRounds.Add(int64(r.Rounds))
+	if int(r.Kind) < len(c.recoveryKind) {
+		c.recoveryKind[r.Kind].Add(int64(r.N()))
+	}
+}
+
+// MessageStats implements Tracer.
+func (c *Collector) MessageStats(s Messages) {
+	c.msgSent.Add(int64(s.Sent))
+	c.msgRelays.Add(int64(s.Relays))
+	c.msgRounds.Add(int64(s.Rounds))
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("hits") != c {
+		t.Fatal("counter not cached by name")
+	}
+	g := m.Gauge("level")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("rounds", []int64{1, 2, 4})
+	for _, v := range []int64{1, 1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 111 {
+		t.Fatalf("sum = %d, want 111", got)
+	}
+	snap := m.Snapshot().Histograms["rounds"]
+	want := []int64{2, 1, 2, 1} // <=1, <=2, <=4, +Inf
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestHistogramRelayout(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram("h", []int64{1, 2})
+	if h2 := m.Histogram("h", []int64{1, 2}); h2 == nil {
+		t.Fatal("same layout should return existing histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on layout change")
+		}
+	}()
+	m.Histogram("h", []int64{1, 3})
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	m := NewMetrics()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	m.Histogram("bad", []int64{2, 1})
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(3)
+	m.Gauge("b").Set(-1)
+	m.Histogram("c", RoundBuckets).Observe(5)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Counters["a"] != 3 || back.Gauges["b"] != -1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.Histograms["c"].Count != 1 {
+		t.Fatalf("histogram round-trip mismatch: %+v", back.Histograms["c"])
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("n").Inc()
+				m.Histogram("h", RoundBuckets).Observe(int64(i % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := m.Histogram("h", RoundBuckets).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector(nil)
+	c.PhaseBegin(Phase{Index: 0}) // no-op
+	c.PhaseEnd(Phase{Index: 0, Kind: PhaseExchange, S2: true, Cost: 1, Pairs: 8})
+	c.PhaseEnd(Phase{Index: 1, Kind: PhaseRouted, Cost: 3, Pairs: 4})
+	c.PhaseEnd(Phase{Index: 2, Kind: PhaseIdle, Cost: 1})
+	c.RecoveryEvent(Recovery{Kind: RecoveryRetry, Rounds: 5})
+	c.RecoveryEvent(Recovery{Kind: RecoveryStallWait, Count: 3})
+	c.MessageStats(Messages{Sent: 10, Relays: 2, Rounds: 4})
+
+	m := c.Metrics()
+	checks := map[string]int64{
+		"phases.total":        3,
+		"phases.routed":       1,
+		"phases.idle":         1,
+		"rounds.total":        5,
+		"rounds.s2":           1,
+		"rounds.sweep":        4,
+		"compare.ops":         12,
+		"recovery.events":     4, // 1 retry + 3 stalls
+		"recovery.rounds":     5,
+		"recovery.retry":      1,
+		"recovery.stall-wait": 3,
+		"spmd.messages":       10,
+		"spmd.relays":         2,
+		"spmd.rounds":         4,
+	}
+	for name, want := range checks {
+		if got := m.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := m.Histogram("phase.rounds", RoundBuckets).Count(); got != 3 {
+		t.Errorf("phase.rounds count = %d, want 3", got)
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("z")
+	m.Counter("a")
+	names := m.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("names = %v, want [a z]", names)
+	}
+}

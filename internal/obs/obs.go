@@ -1,0 +1,224 @@
+// Package obs is the repo's zero-dependency observability layer: typed
+// trace events, a Tracer interface the replay stack emits them through,
+// a metrics registry (counters, gauges, fixed-bucket histograms) that is
+// snapshotable as JSON, and a Chrome trace_event exporter.
+//
+// The paper's cost model is stated in parallel communication rounds
+// (S_r(N) = (r-1)²·S₂(N) + (r-1)(r-2)·R(N), Theorem 1); this package
+// exists so a real run can be decomposed against it — per phase, per
+// dimension, per recovery window — instead of only comparing totals.
+//
+// Design constraints, in order:
+//
+//  1. Disabled must be free. Every emission site in the hot replay path
+//     guards on a nil Tracer; events are flat value structs, so an
+//     enabled tracer costs one interface call and zero allocations at
+//     the call site. Tests pin the disabled path at 0 allocs.
+//  2. No dependencies. The package imports only the standard library and
+//     is imported by simnet, schedule, spmd and the root API — it must
+//     sit below all of them.
+//  3. Events carry schedule-IR identity: the op index, op kind,
+//     dimension and S2/sweep attribution of the compiled program, so a
+//     trace lines up one-to-one with the program that produced it.
+package obs
+
+// PhaseKind discriminates round-consuming phases, mirroring the
+// schedule IR's op kinds (compare-exchange, routed exchange, idle).
+type PhaseKind uint8
+
+const (
+	// PhaseExchange is a single-hop compare-exchange phase (cost 1).
+	PhaseExchange PhaseKind = iota
+	// PhaseRouted is a multi-hop routed exchange phase (cost = measured
+	// routing charge).
+	PhaseRouted
+	// PhaseIdle is an idle round of the oblivious schedule.
+	PhaseIdle
+)
+
+// String names the phase kind.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseExchange:
+		return "exchange"
+	case PhaseRouted:
+		return "routed"
+	case PhaseIdle:
+		return "idle"
+	}
+	return "phase?"
+}
+
+// Phase is the payload of a phase begin/end event pair: one
+// round-consuming op of a compiled schedule program. It is a flat value
+// struct so emitting it allocates nothing.
+type Phase struct {
+	// Index is the op's position in the program's instruction stream —
+	// the schedule-IR identity of the phase.
+	Index int
+	// Kind discriminates exchange / routed / idle.
+	Kind PhaseKind
+	// Dim is the 1-based product dimension the phase's pairs differ in,
+	// or 0 when the phase mixes dimensions (or is idle).
+	Dim int
+	// S2 reports whether the phase is attributed to PG_2 sorting
+	// (inside a BeginS2/EndS2 bracket) rather than a transposition sweep.
+	S2 bool
+	// Cost is the phase's precomputed round charge.
+	Cost int
+	// Pairs is the comparator count of the phase (0 for idle).
+	Pairs int
+}
+
+// RecoveryKind discriminates the fault-recovery events emitted by the
+// resilient replay.
+type RecoveryKind uint8
+
+const (
+	// RecoveryCheckpoint marks a checkpoint snapshot before a window.
+	RecoveryCheckpoint RecoveryKind = iota
+	// RecoveryScrubDetect marks a checksum or sortedness scrub that
+	// caught corruption.
+	RecoveryScrubDetect
+	// RecoveryRetry marks a full-window retry from checkpoint.
+	RecoveryRetry
+	// RecoveryHalve marks a window split (exponential backoff).
+	RecoveryHalve
+	// RecoveryRepairPass marks a whole-program repair replay.
+	RecoveryRepairPass
+	// RecoveryStallWait marks rounds spent waiting out stalled nodes.
+	RecoveryStallWait
+	// RecoveryRetransmit marks retransmissions of dropped exchanges.
+	RecoveryRetransmit
+	// RecoveryReplay carries the round charge of a recovery
+	// re-execution: a checkpoint-window replay or the in-phase rounds
+	// spent on stall waits and retransmissions. Summing the Rounds of
+	// all recovery events yields the replay clock's RecoveryRounds.
+	RecoveryReplay
+	// RecoveryUnrecoverable marks a fault recovery gave up on.
+	RecoveryUnrecoverable
+)
+
+// String names the recovery kind.
+func (k RecoveryKind) String() string {
+	switch k {
+	case RecoveryCheckpoint:
+		return "checkpoint"
+	case RecoveryScrubDetect:
+		return "scrub-detect"
+	case RecoveryRetry:
+		return "retry"
+	case RecoveryHalve:
+		return "halve"
+	case RecoveryRepairPass:
+		return "repair-pass"
+	case RecoveryStallWait:
+		return "stall-wait"
+	case RecoveryRetransmit:
+		return "retransmit"
+	case RecoveryReplay:
+		return "replay"
+	case RecoveryUnrecoverable:
+		return "unrecoverable"
+	}
+	return "recovery?"
+}
+
+// Recovery is the payload of a fault-recovery event from the resilient
+// replay: what happened, where in the program, and what it cost.
+type Recovery struct {
+	// Kind discriminates the event.
+	Kind RecoveryKind
+	// Lo and Hi bound the checkpoint window as exchange-phase ordinals
+	// [Lo, Hi); both are -1 for events outside window machinery.
+	Lo, Hi int
+	// Phase is the schedule op index the event attaches to, or -1.
+	Phase int
+	// Rounds is the recovery round charge of this event (0 when the
+	// event is free, e.g. a checkpoint snapshot).
+	Rounds int
+	// Count is the event multiplicity (e.g. retransmissions batched per
+	// phase); 0 means 1.
+	Count int
+}
+
+// N returns the event multiplicity, treating 0 as 1.
+func (r Recovery) N() int {
+	if r.Count == 0 {
+		return 1
+	}
+	return r.Count
+}
+
+// Messages is the payload of a message-traffic event from the SPMD
+// engine: per-phase aggregate counts of the key messages a phase moved.
+type Messages struct {
+	// Phase is the engine's phase ordinal.
+	Phase int
+	// Sent is the number of key messages injected for the phase.
+	Sent int
+	// Relays is the number of store-and-forward hops by intermediate
+	// processors.
+	Relays int
+	// Rounds is the synchronized round count of the phase (0 when the
+	// engine ran unsynchronized).
+	Rounds int
+}
+
+// Tracer receives the typed events of a replay. Implementations must be
+// safe for use from a single replay goroutine; the Recorder and
+// Collector in this package are additionally safe for concurrent use.
+//
+// The nil Tracer is the disabled state: every emission site in the
+// replay stack guards with `if t != nil`, so disabled tracing costs one
+// predictable branch and zero allocations.
+type Tracer interface {
+	// PhaseBegin fires immediately before a round-consuming op executes.
+	PhaseBegin(Phase)
+	// PhaseEnd fires immediately after the op's data movement finished.
+	PhaseEnd(Phase)
+	// RecoveryEvent fires for checkpoint/scrub/retry/repair activity.
+	RecoveryEvent(Recovery)
+	// MessageStats fires once per SPMD phase with its traffic aggregate.
+	MessageStats(Messages)
+}
+
+// MultiTracer fans every event out to each tracer in order. Nil
+// elements are skipped.
+type MultiTracer []Tracer
+
+// PhaseBegin implements Tracer.
+func (m MultiTracer) PhaseBegin(p Phase) {
+	for _, t := range m {
+		if t != nil {
+			t.PhaseBegin(p)
+		}
+	}
+}
+
+// PhaseEnd implements Tracer.
+func (m MultiTracer) PhaseEnd(p Phase) {
+	for _, t := range m {
+		if t != nil {
+			t.PhaseEnd(p)
+		}
+	}
+}
+
+// RecoveryEvent implements Tracer.
+func (m MultiTracer) RecoveryEvent(r Recovery) {
+	for _, t := range m {
+		if t != nil {
+			t.RecoveryEvent(r)
+		}
+	}
+}
+
+// MessageStats implements Tracer.
+func (m MultiTracer) MessageStats(s Messages) {
+	for _, t := range m {
+		if t != nil {
+			t.MessageStats(s)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	phaseWant := map[PhaseKind]string{
+		PhaseExchange: "exchange",
+		PhaseRouted:   "routed",
+		PhaseIdle:     "idle",
+		PhaseKind(99): "phase?",
+	}
+	for k, w := range phaseWant {
+		if got := k.String(); got != w {
+			t.Errorf("PhaseKind(%d) = %q, want %q", k, got, w)
+		}
+	}
+	// Every declared recovery kind must have a distinct, non-fallback
+	// name (the Collector derives metric names from them).
+	seen := map[string]bool{}
+	for k := RecoveryCheckpoint; k <= RecoveryUnrecoverable; k++ {
+		s := k.String()
+		if s == "recovery?" {
+			t.Errorf("RecoveryKind(%d) has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate recovery kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := RecoveryKind(99).String(); got != "recovery?" {
+		t.Errorf("unknown recovery kind = %q", got)
+	}
+}
+
+func TestRecoveryN(t *testing.T) {
+	if (Recovery{}).N() != 1 {
+		t.Fatal("zero Count must mean multiplicity 1")
+	}
+	if (Recovery{Count: 5}).N() != 5 {
+		t.Fatal("explicit Count must be respected")
+	}
+}
+
+// captureTracer records raw event counts for fan-out tests.
+type captureTracer struct {
+	begins, ends, recoveries, messages int
+}
+
+func (c *captureTracer) PhaseBegin(Phase)       { c.begins++ }
+func (c *captureTracer) PhaseEnd(Phase)         { c.ends++ }
+func (c *captureTracer) RecoveryEvent(Recovery) { c.recoveries++ }
+func (c *captureTracer) MessageStats(Messages)  { c.messages++ }
+
+func TestMultiTracerFanOut(t *testing.T) {
+	a, b := &captureTracer{}, &captureTracer{}
+	mt := MultiTracer{a, nil, b} // nil elements are skipped
+	mt.PhaseBegin(Phase{})
+	mt.PhaseEnd(Phase{})
+	mt.PhaseEnd(Phase{})
+	mt.RecoveryEvent(Recovery{})
+	mt.MessageStats(Messages{})
+	for _, c := range []*captureTracer{a, b} {
+		if c.begins != 1 || c.ends != 2 || c.recoveries != 1 || c.messages != 1 {
+			t.Fatalf("fan-out mismatch: %+v", c)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"productsort/internal/obs"
 	"productsort/internal/simnet"
 )
 
@@ -25,6 +26,10 @@ type Backend interface {
 type ExecBackend struct {
 	// Exec applies phases; nil means simnet.SequentialExec.
 	Exec simnet.Executor
+	// Tracer receives a phase begin/end event pair per round-consuming
+	// op. nil disables tracing; the disabled path stays allocation-free
+	// (asserted by TestExecBackendDisabledTracerZeroAlloc).
+	Tracer obs.Tracer
 }
 
 // Run implements Backend.
@@ -37,13 +42,54 @@ func (e ExecBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, error)
 		exec = simnet.SequentialExec{}
 	}
 	ops := prog.ops
+	if e.Tracer == nil {
+		for i := range ops {
+			switch ops[i].Kind {
+			case OpCompareExchange, OpRoutedExchange:
+				exec.CompareExchange(keys, ops[i].Pairs)
+			}
+		}
+		return prog.clock, nil
+	}
+	inS2 := false
 	for i := range ops {
-		switch ops[i].Kind {
+		op := &ops[i]
+		switch op.Kind {
 		case OpCompareExchange, OpRoutedExchange:
-			exec.CompareExchange(keys, ops[i].Pairs)
+			ev := phaseEvent(op, i, inS2)
+			e.Tracer.PhaseBegin(ev)
+			exec.CompareExchange(keys, op.Pairs)
+			e.Tracer.PhaseEnd(ev)
+		case OpIdle:
+			ev := phaseEvent(op, i, inS2)
+			e.Tracer.PhaseBegin(ev)
+			e.Tracer.PhaseEnd(ev)
+		case OpBeginS2:
+			inS2 = true
+		case OpEndS2:
+			inS2 = false
 		}
 	}
 	return prog.clock, nil
+}
+
+// phaseEvent assembles the trace payload of one round-consuming op.
+func phaseEvent(op *Op, index int, inS2 bool) obs.Phase {
+	kind := obs.PhaseExchange
+	switch op.Kind {
+	case OpRoutedExchange:
+		kind = obs.PhaseRouted
+	case OpIdle:
+		kind = obs.PhaseIdle
+	}
+	return obs.Phase{
+		Index: index,
+		Kind:  kind,
+		Dim:   op.Dim,
+		S2:    inS2,
+		Cost:  op.Cost,
+		Pairs: len(op.Pairs),
+	}
 }
 
 // MachineBackend replays the program through a live simnet.Machine,

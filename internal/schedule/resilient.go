@@ -24,6 +24,7 @@ import (
 
 	"productsort/internal/faults"
 	"productsort/internal/graph"
+	"productsort/internal/obs"
 	"productsort/internal/product"
 	"productsort/internal/simnet"
 )
@@ -60,6 +61,17 @@ type ResilientBackend struct {
 	// MaxRepairPasses bounds the full-program repair replays after the
 	// final sortedness scrub; <1 means 3.
 	MaxRepairPasses int
+	// Tracer receives typed recovery events: checkpoint snapshots,
+	// scrub detections, window retries and halvings, stall waits,
+	// retransmissions, repair passes and unrecoverable give-ups. Event
+	// multiplicities mirror the fault plan's counters one-for-one
+	// (asserted by TestChaosEventsMatchFaultReport), and the Rounds
+	// carried by all recovery events sum to the clock's RecoveryRounds.
+	// nil disables recovery tracing; the fault-free delegate path never
+	// consults it. Phase-level events come from the Inner backend's own
+	// tracer — under recovery those carry sub-program op indices, since
+	// surviving pairs are batched into fresh sub-programs.
+	Tracer obs.Tracer
 }
 
 // Run implements Backend: it replays prog over keys under the fault
@@ -93,6 +105,7 @@ func (rb ResilientBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, 
 		sum0:       faults.ChecksumKeys(keys),
 		k:          rb.CheckpointEvery,
 		maxRetries: rb.MaxRetries,
+		tracer:     rb.Tracer,
 	}
 	if r.k < 1 {
 		r.k = 16
@@ -104,10 +117,16 @@ func (rb ResilientBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, 
 	if maxRepair < 1 {
 		maxRepair = 3
 	}
+	inS2 := false
 	for i := range priced.ops {
 		switch priced.ops[i].Kind {
+		case OpBeginS2:
+			inS2 = true
+		case OpEndS2:
+			inS2 = false
 		case OpCompareExchange, OpRoutedExchange:
 			r.ex = append(r.ex, i)
+			r.exS2 = append(r.exS2, inS2)
 		}
 	}
 	if err := r.runAll(true); err != nil {
@@ -120,9 +139,12 @@ func (rb ResilientBackend) Run(prog *Program, keys []simnet.Key) (simnet.Clock, 
 	for pass := 0; !snakeSorted(priced.net, keys); pass++ {
 		if pass >= maxRepair {
 			r.plan.Add(faults.Counters{Unrecoverable: 1})
+			r.trace(obs.Recovery{Kind: obs.RecoveryUnrecoverable, Lo: -1, Hi: -1, Phase: -1})
 			return r.finalClock(), ErrUnrecoverable
 		}
 		r.plan.Add(faults.Counters{Detected: 1, RepairPasses: 1})
+		r.trace(obs.Recovery{Kind: obs.RecoveryScrubDetect, Lo: -1, Hi: -1, Phase: -1})
+		r.trace(obs.Recovery{Kind: obs.RecoveryRepairPass, Lo: -1, Hi: -1, Phase: -1})
 		r.epoch++
 		if err := r.runAll(false); err != nil {
 			return simnet.Clock{}, err
@@ -142,6 +164,7 @@ type resilientRun struct {
 	plan  *faults.Plan
 	keys  []simnet.Key
 	ex    []int           // indices of exchange ops in prog.ops
+	exS2  []bool          // S2 attribution per exchange op (for traces)
 	sum0  faults.Checksum // multiset digest scrubbed against
 
 	k          int // checkpoint window size (exchange phases)
@@ -149,8 +172,16 @@ type resilientRun struct {
 
 	epoch          int // bumped per retry/repair: re-rolls every decision
 	recoveryRounds int
-	corrupted      bool // an accepted (unhealable) corruption happened
-	pending        []Op // scratch ops buffer between backend segments
+	corrupted      bool       // an accepted (unhealable) corruption happened
+	pending        []Op       // scratch ops buffer between backend segments
+	tracer         obs.Tracer // nil = recovery tracing disabled
+}
+
+// trace emits a recovery event when a tracer is attached.
+func (r *resilientRun) trace(ev obs.Recovery) {
+	if r.tracer != nil {
+		r.tracer.RecoveryEvent(ev)
+	}
 }
 
 // runAll replays every window in order. free marks the first execution
@@ -178,9 +209,11 @@ func (r *resilientRun) runAll(free bool) error {
 func (r *resilientRun) window(lo, hi int, free bool) error {
 	cost := r.windowCost(lo, hi)
 	checkpoint := append([]simnet.Key(nil), r.keys...)
+	r.trace(obs.Recovery{Kind: obs.RecoveryCheckpoint, Lo: lo, Hi: hi, Phase: -1})
 	for attempt := 0; attempt <= r.maxRetries; attempt++ {
 		if !free || attempt > 0 {
 			r.recoveryRounds += cost
+			r.trace(obs.Recovery{Kind: obs.RecoveryReplay, Lo: lo, Hi: hi, Phase: -1, Rounds: cost})
 		}
 		if err := r.execute(lo, hi); err != nil {
 			return err
@@ -189,6 +222,8 @@ func (r *resilientRun) window(lo, hi int, free bool) error {
 			return nil
 		}
 		r.plan.Add(faults.Counters{Detected: 1, Retried: 1})
+		r.trace(obs.Recovery{Kind: obs.RecoveryScrubDetect, Lo: lo, Hi: hi, Phase: -1})
+		r.trace(obs.Recovery{Kind: obs.RecoveryRetry, Lo: lo, Hi: hi, Phase: -1})
 		copy(r.keys, checkpoint)
 		r.epoch++
 	}
@@ -196,17 +231,21 @@ func (r *resilientRun) window(lo, hi int, free bool) error {
 		// The corrupting phase is isolated and will not heal: run it
 		// one last time and carry the corruption forward, counted.
 		r.recoveryRounds += cost
+		r.trace(obs.Recovery{Kind: obs.RecoveryReplay, Lo: lo, Hi: hi, Phase: -1, Rounds: cost})
 		if err := r.execute(lo, hi); err != nil {
 			return err
 		}
 		if sum := faults.ChecksumKeys(r.keys); sum != r.sum0 {
 			r.plan.Add(faults.Counters{Detected: 1, Unrecoverable: 1})
+			r.trace(obs.Recovery{Kind: obs.RecoveryScrubDetect, Lo: lo, Hi: hi, Phase: -1})
+			r.trace(obs.Recovery{Kind: obs.RecoveryUnrecoverable, Lo: lo, Hi: hi, Phase: -1})
 			r.corrupted = true
 			r.sum0 = sum
 		}
 		return nil
 	}
 	mid := lo + (hi-lo)/2
+	r.trace(obs.Recovery{Kind: obs.RecoveryHalve, Lo: lo, Hi: hi, Phase: -1})
 	if err := r.window(lo, mid, false); err != nil {
 		return err
 	}
@@ -234,6 +273,7 @@ func (r *resilientRun) windowCost(lo, hi int) int {
 func (r *resilientRun) execute(lo, hi int) error {
 	var delta faults.Counters
 	pending := r.pending[:0]
+	pendingS2 := false // S2 bracket state encoded in the pending stream
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
@@ -241,6 +281,7 @@ func (r *resilientRun) execute(lo, hi int) error {
 		sub := &Program{net: r.prog.net, engine: r.prog.engine, sig: r.prog.sig, ops: pending}
 		_, err := r.inner.Run(sub, r.keys)
 		pending = pending[:0]
+		pendingS2 = false // sub-programs start outside the S2 bracket
 		return err
 	}
 	for w := lo; w < hi; w++ {
@@ -248,6 +289,7 @@ func (r *resilientRun) execute(lo, hi int) error {
 		op := &r.prog.ops[j]
 		kept := make([][2]int, 0, len(op.Pairs))
 		phaseExtra := 0
+		phaseStalls, phaseRetrans, phaseLost := 0, 0, 0
 		for _, pr := range op.Pairs {
 			a, b := pr[0], pr[1]
 			extra := 0
@@ -256,6 +298,7 @@ func (r *resilientRun) execute(lo, hi int) error {
 			for round := 0; r.plan.NodeStalledRound(j, round, a) || r.plan.NodeStalledRound(j, round, b); round++ {
 				delta.Stalled++
 				delta.Injected++
+				phaseStalls++
 				extra++
 				if extra >= pairAttempts {
 					alive = false
@@ -275,6 +318,7 @@ func (r *resilientRun) execute(lo, hi int) error {
 						break
 					}
 					delta.Retried++
+					phaseRetrans++
 					extra++
 					dropped = r.plan.MessageDropped(j, att, a, b, r.epoch)
 				}
@@ -283,6 +327,7 @@ func (r *resilientRun) execute(lo, hi int) error {
 				// This exchange is lost for the phase; the final
 				// sortedness scrub and repair passes pick it up.
 				delta.Unrecoverable++
+				phaseLost++
 				continue
 			}
 			if extra > phaseExtra {
@@ -291,8 +336,34 @@ func (r *resilientRun) execute(lo, hi int) error {
 			kept = append(kept, pr)
 		}
 		r.recoveryRounds += phaseExtra
+		if r.tracer != nil {
+			if phaseStalls > 0 {
+				r.trace(obs.Recovery{Kind: obs.RecoveryStallWait, Lo: lo, Hi: hi, Phase: j, Count: phaseStalls})
+			}
+			if phaseRetrans > 0 {
+				r.trace(obs.Recovery{Kind: obs.RecoveryRetransmit, Lo: lo, Hi: hi, Phase: j, Count: phaseRetrans})
+			}
+			if phaseLost > 0 {
+				r.trace(obs.Recovery{Kind: obs.RecoveryUnrecoverable, Lo: lo, Hi: hi, Phase: j, Count: phaseLost})
+			}
+			if phaseExtra > 0 {
+				// Pairs recover in parallel: the phase's round charge is
+				// the worst pair's wait, carried by one replay event.
+				r.trace(obs.Recovery{Kind: obs.RecoveryReplay, Lo: lo, Hi: hi, Phase: j, Rounds: phaseExtra})
+			}
+		}
 		if len(kept) > 0 {
-			pending = append(pending, Op{Kind: op.Kind, Pairs: kept, Cost: op.Cost})
+			// Re-emit S2 bracket markers so a tracing inner backend
+			// attributes replayed phases to the right stage.
+			if s2 := r.exS2[w]; s2 != pendingS2 {
+				marker := OpEndS2
+				if s2 {
+					marker = OpBeginS2
+				}
+				pending = append(pending, Op{Kind: marker})
+				pendingS2 = s2
+			}
+			pending = append(pending, Op{Kind: op.Kind, Pairs: kept, Cost: op.Cost, Dim: op.Dim})
 		}
 		if node, mask, ok := r.plan.Corruption(r.epoch, j, len(r.keys)); ok {
 			if err := flush(); err != nil {
@@ -378,7 +449,7 @@ func degradeProgram(prog *Program, plan *faults.Plan) (*Program, int, error) {
 					rerouted++
 				}
 			}
-			ops[i] = Op{Kind: kind, Pairs: op.Pairs, Cost: cost}
+			ops[i] = Op{Kind: kind, Pairs: op.Pairs, Cost: cost, Dim: op.Dim}
 			clk.ComparePhases++
 			clk.CompareOps += len(op.Pairs)
 			charge(cost)

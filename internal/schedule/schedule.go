@@ -86,6 +86,11 @@ type Op struct {
 	// and idle rounds, the routing charge for routed exchanges, 0 for
 	// markers).
 	Cost int
+	// Dim is the 1-based product dimension every pair of an exchange op
+	// differs in, or 0 when the op mixes dimensions (or is not an
+	// exchange). It is part of the IR so tracing can attribute round
+	// charges per dimension without re-deriving digits at replay time.
+	Dim int
 }
 
 // Program is a compiled, immutable phase program for one network (and
@@ -192,10 +197,32 @@ func (b *Builder) CompareExchange(pairs [][2]int) {
 		kind = OpRoutedExchange
 		b.clock.RoutedPhases++
 	}
-	b.ops = append(b.ops, Op{Kind: kind, Pairs: cp, Cost: cost})
+	b.ops = append(b.ops, Op{Kind: kind, Pairs: cp, Cost: cost, Dim: phaseDim(b.net, cp)})
 	b.clock.ComparePhases++
 	b.clock.CompareOps += len(cp)
 	b.charge(cost)
+}
+
+// phaseDim returns the 1-based dimension every pair of the phase
+// differs in, or 0 when pairs span different dimensions. PhaseCost has
+// already validated that each pair differs in exactly one dimension.
+func phaseDim(net *product.Network, pairs [][2]int) int {
+	dim := 0
+	for _, pr := range pairs {
+		d := 0
+		for k := 1; k <= net.R(); k++ {
+			if net.Digit(pr[0], k) != net.Digit(pr[1], k) {
+				d = k
+				break
+			}
+		}
+		if dim == 0 {
+			dim = d
+		} else if dim != d {
+			return 0
+		}
+	}
+	return dim
 }
 
 // IdleRound implements sort2d.Machine.

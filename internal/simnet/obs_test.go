@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/obs"
+	"productsort/internal/product"
+)
+
+// machineTally records phase events from a live machine.
+type machineTally struct {
+	begins, ends int
+	rounds       int
+	s2Rounds     int
+	idle         int
+	routed       int
+	pairs        int
+	dims         []int
+}
+
+func (c *machineTally) PhaseBegin(obs.Phase) { c.begins++ }
+
+func (c *machineTally) PhaseEnd(p obs.Phase) {
+	c.ends++
+	c.rounds += p.Cost
+	if p.S2 {
+		c.s2Rounds += p.Cost
+	}
+	switch p.Kind {
+	case obs.PhaseIdle:
+		c.idle++
+	case obs.PhaseRouted:
+		c.routed++
+	}
+	c.pairs += p.Pairs
+	c.dims = append(c.dims, p.Dim)
+}
+
+func (c *machineTally) RecoveryEvent(obs.Recovery) {}
+func (c *machineTally) MessageStats(obs.Messages)  {}
+
+// TestMachineTracerMirrorsClock drives a machine by hand and checks the
+// event stream reproduces every charge the clock takes, including S2
+// attribution and per-phase dimension identity.
+func TestMachineTracerMirrorsClock(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	m := MustNew(net, seqKeys(9))
+	tally := &machineTally{}
+	m.SetTracer(tally)
+
+	m.BeginS2()
+	m.CompareExchange([][2]int{{0, 1}})         // dim 1 edge
+	m.CompareExchange([][2]int{{0, 3}, {1, 4}}) // dim 2 edges
+	m.EndS2()
+	m.IdleRound()
+	m.CompareExchange([][2]int{{0, 2}}) // non-edge in dim 1: routed
+
+	clk := m.Clock()
+	if tally.begins != tally.ends || tally.ends != 4 {
+		t.Fatalf("events: %d begins, %d ends, want 4 each", tally.begins, tally.ends)
+	}
+	if tally.rounds != clk.Rounds {
+		t.Errorf("event rounds %d != clock rounds %d", tally.rounds, clk.Rounds)
+	}
+	if tally.s2Rounds != clk.S2Rounds {
+		t.Errorf("event s2 rounds %d != clock s2 rounds %d", tally.s2Rounds, clk.S2Rounds)
+	}
+	if tally.idle != 1 {
+		t.Errorf("idle events = %d, want 1", tally.idle)
+	}
+	if tally.routed != clk.RoutedPhases {
+		t.Errorf("routed events %d != routed phases %d", tally.routed, clk.RoutedPhases)
+	}
+	if tally.pairs != clk.CompareOps {
+		t.Errorf("event pairs %d != compare ops %d", tally.pairs, clk.CompareOps)
+	}
+	want := []int{1, 2, 0, 1} // exchange dims; idle phases carry dim 0
+	for i, d := range want {
+		if tally.dims[i] != d {
+			t.Errorf("phase %d dim = %d, want %d", i, tally.dims[i], d)
+		}
+	}
+}
+
+// TestMachineNoTracerNoEvents: the default machine stays silent and its
+// phase counter does not advance.
+func TestMachineNoTracerNoEvents(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 1)
+	m := MustNew(net, seqKeys(3))
+	m.CompareExchange([][2]int{{0, 1}})
+	m.IdleRound()
+	tally := &machineTally{}
+	m.SetTracer(tally)
+	m.CompareExchange([][2]int{{1, 2}})
+	if tally.ends != 1 {
+		t.Fatalf("events after attach = %d, want 1", tally.ends)
+	}
+	// Phase indices restart from wherever the counter is; attaching late
+	// must still produce strictly increasing indices (no reuse of 0 for
+	// pre-attach phases is required, only monotonicity from here on).
+	m.CompareExchange([][2]int{{0, 1}})
+	if tally.dims[len(tally.dims)-1] != 1 {
+		t.Fatalf("late phases still traced with dims: %v", tally.dims)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"productsort/internal/faults"
 	"productsort/internal/graph"
+	"productsort/internal/obs"
 	"productsort/internal/product"
 	"productsort/internal/routing"
 )
@@ -67,7 +68,9 @@ type Machine struct {
 	clock Clock
 	exec  Executor
 
-	inS2 bool // attribute current rounds to S2Rounds
+	inS2   bool       // attribute current rounds to S2Rounds
+	tracer obs.Tracer // nil = tracing disabled (the default)
+	phase  int        // phase ordinal for trace identity
 }
 
 // costKey identifies a cached routed-exchange cost: the factor graph it
@@ -357,6 +360,12 @@ func MustNew(net *product.Network, keys []Key) *Machine {
 // SetExecutor replaces the phase executor (e.g. with GoroutineExec).
 func (m *Machine) SetExecutor(e Executor) { m.exec = e }
 
+// SetTracer attaches a tracer receiving one phase begin/end event pair
+// per round-consuming phase (compare-exchange and idle rounds), with
+// the machine's running phase ordinal as the event index. nil detaches;
+// the detached path adds only a nil check per phase.
+func (m *Machine) SetTracer(t obs.Tracer) { m.tracer = t }
+
 // Net returns the underlying product network.
 func (m *Machine) Net() *product.Network { return m.net }
 
@@ -402,6 +411,12 @@ func (m *Machine) IdleRound() {
 	} else {
 		m.clock.SweepRounds++
 	}
+	if m.tracer != nil {
+		ev := obs.Phase{Index: m.phase, Kind: obs.PhaseIdle, S2: m.inS2, Cost: 1}
+		m.phase++
+		m.tracer.PhaseBegin(ev)
+		m.tracer.PhaseEnd(ev)
+	}
 }
 
 // CompareExchange performs one parallel compare-exchange phase. Each
@@ -418,7 +433,27 @@ func (m *Machine) CompareExchange(pairs [][2]int) {
 		return
 	}
 	cost := m.cost.PhaseCost(m.net, pairs)
+	var ev obs.Phase
+	if m.tracer != nil {
+		kind := obs.PhaseExchange
+		if cost > 1 {
+			kind = obs.PhaseRouted
+		}
+		ev = obs.Phase{
+			Index: m.phase,
+			Kind:  kind,
+			Dim:   m.phaseDim(pairs),
+			S2:    m.inS2,
+			Cost:  cost,
+			Pairs: len(pairs),
+		}
+		m.phase++
+		m.tracer.PhaseBegin(ev)
+	}
 	m.exec.CompareExchange(m.keys, pairs)
+	if m.tracer != nil {
+		m.tracer.PhaseEnd(ev)
+	}
 	m.clock.ComparePhases++
 	m.clock.CompareOps += len(pairs)
 	m.clock.Rounds += cost
@@ -430,6 +465,21 @@ func (m *Machine) CompareExchange(pairs [][2]int) {
 	if cost > 1 {
 		m.clock.RoutedPhases++
 	}
+}
+
+// phaseDim returns the 1-based dimension every pair of the phase
+// differs in, or 0 when pairs span different dimensions.
+func (m *Machine) phaseDim(pairs [][2]int) int {
+	dim := 0
+	for _, pr := range pairs {
+		d := differingDim(m.net, pr[0], pr[1])
+		if dim == 0 {
+			dim = d
+		} else if dim != d {
+			return 0
+		}
+	}
+	return dim
 }
 
 // SnakeKeys returns the keys read off in snake order of the whole

@@ -1,0 +1,96 @@
+package spmd
+
+import (
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/obs"
+	"productsort/internal/product"
+	"productsort/internal/schedule"
+)
+
+// statsTally accumulates MessageStats events.
+type statsTally struct {
+	events, sent, relays, rounds int
+	lastPhase                    int
+	ordered                      bool
+}
+
+func (c *statsTally) PhaseBegin(obs.Phase)       {}
+func (c *statsTally) PhaseEnd(obs.Phase)         {}
+func (c *statsTally) RecoveryEvent(obs.Recovery) {}
+
+func (c *statsTally) MessageStats(s obs.Messages) {
+	if c.events == 0 || s.Phase > c.lastPhase {
+		c.ordered = true
+	} else {
+		c.ordered = false
+	}
+	c.lastPhase = s.Phase
+	c.events++
+	c.sent += s.Sent
+	c.relays += s.Relays
+	c.rounds += s.Rounds
+}
+
+// TestEngineMessageStatsSumToTotals runs a full compiled program on a
+// network with relayed exchanges and checks the per-phase MessageStats
+// events sum to exactly the engine's message and relay totals.
+func TestEngineMessageStatsSumToTotals(t *testing.T) {
+	net := product.MustNew(graph.Star(4), 2) // star: exchanges relay via the hub
+	prog, err := schedule.Compile(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(net, randomKeys(net.Nodes(), 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := &statsTally{}
+	e.SetTracer(tally)
+	e.RunProgram(prog)
+	if tally.events != len(prog.Phases()) {
+		t.Errorf("stats events = %d, want one per phase = %d", tally.events, len(prog.Phases()))
+	}
+	if !tally.ordered {
+		t.Error("phase ordinals not strictly increasing")
+	}
+	if tally.sent != e.Messages() {
+		t.Errorf("events sum %d sent != engine total %d", tally.sent, e.Messages())
+	}
+	if tally.relays != e.Relays() {
+		t.Errorf("events sum %d relays != engine total %d", tally.relays, e.Relays())
+	}
+	if e.Relays() == 0 {
+		t.Error("star network produced no relays; relay accounting untested")
+	}
+	// Unsynchronized phases report no round measurement.
+	if tally.rounds != 0 {
+		t.Errorf("unsynchronized run reported %d rounds, want 0", tally.rounds)
+	}
+}
+
+// TestEngineSynchronizedStatsCarryRounds: synchronized phases measure
+// their own round count, and the events carry it.
+func TestEngineSynchronizedStatsCarryRounds(t *testing.T) {
+	net := product.MustNew(graph.Path(3), 2)
+	e, err := New(net, randomKeys(net.Nodes(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := &statsTally{}
+	e.SetTracer(tally)
+	rounds := e.RunPhaseSynchronized([][2]int{{0, 1}, {3, 4}})
+	if tally.events != 1 {
+		t.Fatalf("events = %d, want 1", tally.events)
+	}
+	if tally.rounds != rounds {
+		t.Errorf("event rounds %d != measured %d", tally.rounds, rounds)
+	}
+	if rounds == 0 {
+		t.Error("synchronized phase measured 0 rounds")
+	}
+	if tally.sent != e.Messages() {
+		t.Errorf("events sum %d sent != engine total %d", tally.sent, e.Messages())
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"productsort/internal/faults"
 	"productsort/internal/graph"
+	"productsort/internal/obs"
 	"productsort/internal/product"
 	"productsort/internal/routing"
 	"productsort/internal/schedule"
@@ -60,6 +61,23 @@ type Engine struct {
 	// Stats
 	messages int // total messages injected
 	relays   int // forwarding hops beyond the first send
+
+	tracer  obs.Tracer // nil = tracing disabled
+	phaseNo int        // phase ordinal for trace identity (all modes)
+}
+
+// SetTracer attaches a tracer that receives one MessageStats event per
+// executed phase with the phase's message and relay deltas (and, in
+// synchronized mode, its measured round count). nil detaches.
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
+
+// emitStats reports one phase's traffic to the tracer.
+func (e *Engine) emitStats(sent, relays, rounds int) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.MessageStats(obs.Messages{Phase: e.phaseNo, Sent: sent, Relays: relays, Rounds: rounds})
+	e.phaseNo++
 }
 
 // New builds an engine holding the given keys (indexed by node id,
@@ -127,6 +145,7 @@ func (e *Engine) RunPhase(pairs [][2]int) {
 	if len(pairs) == 0 {
 		return
 	}
+	sent0, relays0 := e.messages, e.relays
 	n := e.net.Nodes()
 	// Role lookup: role[v] = +1 if v is a lo endpoint, -1 if hi, with
 	// partner[v] the other endpoint.
@@ -201,6 +220,7 @@ func (e *Engine) RunPhase(pairs [][2]int) {
 			e.keys[hi] = received[hi]
 		}
 	}
+	e.emitStats(e.messages-sent0, e.relays-relays0, 0)
 }
 
 // nextHop returns the neighbor of cur on the way to dst, counting a
@@ -274,6 +294,7 @@ func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 	}
 	phase := e.phase
 	e.phase++
+	sent0, relays0 := e.messages, e.relays
 	n := e.net.Nodes()
 	role := make([]int8, n)
 	partner := make([]int, n)
@@ -409,6 +430,7 @@ func (e *Engine) RunPhaseSynchronized(pairs [][2]int) int {
 			e.keys[hi] = received[hi]
 		}
 	}
+	e.emitStats(e.messages-sent0, e.relays-relays0, rounds)
 	return rounds
 }
 

@@ -1,0 +1,77 @@
+// Observability: the public face of internal/obs. A Tracer attached
+// with WithTracer receives typed events from every layer of the replay
+// stack — phase begin/end with schedule-IR identity (op index, kind,
+// dimension, S2/sweep attribution, round charge), and recovery events
+// (checkpoints, scrub detections, retries, repair passes) from
+// SortResilient — so a run can be decomposed against the paper's
+// S_r(N) = (r-1)²·S₂(N) + (r-1)(r-2)·R(N) round bound instead of only
+// compared in total.
+//
+// The default is no tracer, and the disabled path is free: the hot
+// replay loop guards every emission on a nil check and allocates
+// nothing (pinned by tests with testing.AllocsPerRun).
+
+package productsort
+
+import (
+	"io"
+
+	"productsort/internal/obs"
+)
+
+// Tracer receives typed replay events; see obs.Tracer for the event
+// payloads. The zero state (no tracer) is free on the hot path.
+type Tracer = obs.Tracer
+
+// TraceEvent aliases the phase event payload.
+type TraceEvent = obs.Phase
+
+// RecoveryEvent aliases the fault-recovery event payload.
+type RecoveryEvent = obs.Recovery
+
+// TraceRecorder is an in-memory Tracer that timestamps events and
+// exports them as a Chrome trace_event JSON file (open with
+// chrome://tracing or https://ui.perfetto.dev) plus a per-phase
+// round/time breakdown.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns an empty TraceRecorder.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// Metrics is a registry of named counters, gauges and fixed-bucket
+// histograms, snapshotable as JSON with WriteJSON.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// MetricsCollector is a Tracer that folds replay events into a Metrics
+// registry (rounds by stage, phase and comparator counts, a per-phase
+// round histogram, recovery event counters).
+type MetricsCollector = obs.Collector
+
+// NewMetricsCollector returns a collector feeding m (a fresh registry
+// when nil); attach it with WithTracer and snapshot m afterwards.
+func NewMetricsCollector(m *Metrics) *MetricsCollector { return obs.NewCollector(m) }
+
+// MultiTracer fans events out to several tracers, e.g. a TraceRecorder
+// and a MetricsCollector on the same run.
+func MultiTracer(ts ...Tracer) Tracer { return obs.MultiTracer(ts) }
+
+// WithTracer attaches a tracer to every sort the Sorter (or networks it
+// compiles) performs. Pass nil to detach. The same tracer instance may
+// observe many runs; for Chrome traces use one TraceRecorder per run so
+// timelines do not interleave.
+func WithTracer(t Tracer) Option {
+	return func(s *Sorter) error {
+		s.tracer = t
+		return nil
+	}
+}
+
+// WriteChromeTrace writes rec's events as Chrome trace_event JSON.
+// Convenience wrapper so callers need not reference the method set of
+// the aliased internal type.
+func WriteChromeTrace(rec *TraceRecorder, w io.Writer) error {
+	return rec.WriteChromeTrace(w)
+}

@@ -24,6 +24,7 @@ import (
 
 	"productsort/internal/core"
 	"productsort/internal/graph"
+	"productsort/internal/obs"
 	"productsort/internal/product"
 	"productsort/internal/schedule"
 	"productsort/internal/simnet"
@@ -196,6 +197,7 @@ type Sorter struct {
 	engine     sort2d.Engine
 	goroutines bool
 	observer   func(stage string, snakeKeys []Key)
+	tracer     obs.Tracer
 }
 
 // Option configures a Sorter.
@@ -294,6 +296,9 @@ func (s *Sorter) Sort(nw *Network, keys []Key) (*Result, error) {
 	if s.goroutines {
 		m.SetExecutor(simnet.GoroutineExec{})
 	}
+	if s.tracer != nil {
+		m.SetTracer(s.tracer)
+	}
 	alg := core.New(s.engine)
 	mach := m
 	alg.Observer = func(stage string, _ sort2d.Machine) { s.observer(stage, mach.SnakeKeys()) }
@@ -318,9 +323,10 @@ func Sort(nw *Network, keys []Key) (*Result, error) {
 // engine, so compiling the "same" network twice is free. Safe for
 // concurrent use.
 type CompiledNetwork struct {
-	nw   *Network
-	prog *schedule.Program
-	exec simnet.Executor
+	nw     *Network
+	prog   *schedule.Program
+	exec   simnet.Executor
+	tracer obs.Tracer
 }
 
 // Compile returns the network bound to its cached phase program for the
@@ -336,7 +342,7 @@ func (s *Sorter) Compile(nw *Network) (*CompiledNetwork, error) {
 	if s.goroutines {
 		exec = simnet.GoroutineExec{}
 	}
-	return &CompiledNetwork{nw: nw, prog: prog, exec: exec}, nil
+	return &CompiledNetwork{nw: nw, prog: prog, exec: exec, tracer: s.tracer}, nil
 }
 
 // Compile compiles the network with the default configuration.
@@ -372,7 +378,7 @@ func (c *CompiledNetwork) Sort(keys []Key) (*Result, error) {
 	for pos, k := range keys {
 		byNode[c.nw.net.NodeAtSnake(pos)] = k
 	}
-	clk, err := schedule.ExecBackend{Exec: c.exec}.Run(c.prog, byNode)
+	clk, err := schedule.ExecBackend{Exec: c.exec, Tracer: c.tracer}.Run(c.prog, byNode)
 	if err != nil {
 		return nil, err
 	}
@@ -474,6 +480,9 @@ func (s *Sorter) Merge(nw *Network, slabs [][]Key) (*Result, error) {
 	m.LoadSnake(snake)
 	if s.goroutines {
 		m.SetExecutor(simnet.GoroutineExec{})
+	}
+	if s.tracer != nil {
+		m.SetTracer(s.tracer)
 	}
 	core.New(s.engine).Merge(m, r)
 	return newResult(nw, m.Clock(), s.engine.Name(), m.Keys()), nil

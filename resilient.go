@@ -121,11 +121,12 @@ func (c *CompiledNetwork) SortResilient(keys []Key, cfg FaultConfig) (*Result, e
 		byNode[c.nw.net.NodeAtSnake(pos)] = k
 	}
 	rb := schedule.ResilientBackend{
-		Inner:           schedule.ExecBackend{Exec: c.exec},
+		Inner:           schedule.ExecBackend{Exec: c.exec, Tracer: c.tracer},
 		Plan:            faults.NewPlan(fc),
 		CheckpointEvery: cfg.CheckpointEvery,
 		MaxRetries:      cfg.MaxRetries,
 		MaxRepairPasses: cfg.MaxRepairPasses,
+		Tracer:          c.tracer,
 	}
 	clk, err := rb.Run(c.prog, byNode)
 	if err != nil && !errors.Is(err, ErrUnrecoverable) {
