@@ -19,8 +19,8 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # regressions. Raise it when the baseline moves up.
 COVER_FLOOR ?= 80.0
 
-.PHONY: ci vet build test race fmtcheck fmt lint lint-tools cover \
-	bench-schedule chaos fuzz
+.PHONY: ci vet build test test-shuffle race fmtcheck fmt lint lint-tools cover \
+	bench-schedule chaos fuzz cert
 
 ci: vet build test race fmtcheck lint cover
 
@@ -32,6 +32,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Shuffled double-run: flushes test-order dependence and stale-cache
+# assumptions (each test file must pass in any order, twice).
+test-shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
 
 race:
 	$(GO) test -race ./...
@@ -87,7 +92,20 @@ chaos:
 
 # Fuzz the fault-plan scrub contract: injected key corruption must be
 # detected by the checksum scrub (or provably harmless), and fault
-# plans must be deterministic. Bounded so it fits in CI.
+# plans must be deterministic. Also fuzz the gray-code kernel the whole
+# snake order rests on: rank/unrank round-trips and the split-position
+# lemma for any radix/dimension. Bounded so it fits in CI.
 fuzz:
 	$(GO) test ./internal/faults/ -run=^$$ -fuzz=FuzzScrubDetectsCorruption -fuzztime=20s
 	$(GO) test ./internal/faults/ -run=^$$ -fuzz=FuzzFaultPlanDeterminism -fuzztime=10s
+	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzRankUnrank -fuzztime=10s
+	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzSnakeRankUnrank -fuzztime=10s
+	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzSplitPosLemma -fuzztime=10s
+	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzMixedRadixRoundTrip -fuzztime=10s
+
+# Certification gate: machine-check (0-1 principle, bitsliced) that the
+# compiled phase program of every built-in family/engine pair sorts —
+# exhaustively up to 16 keys in CI, sampled with coverage lint above.
+# Fails on any counterexample. Writes BENCH_cert.json.
+cert:
+	$(GO) run ./cmd/bench -cert -certmax 16

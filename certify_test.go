@@ -1,0 +1,60 @@
+package productsort
+
+import (
+	"testing"
+)
+
+// TestCertifyHypercube runs the public certification path end to end:
+// an exhaustive proof on a 16-key network.
+func TestCertifyHypercube(t *testing.T) {
+	nw, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := c.Certify(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crt.Certified || !crt.Exhaustive {
+		t.Fatalf("hypercube^4 failed certification: %+v (witness %+v)", crt, crt.Witness)
+	}
+	if crt.Keys != 16 || crt.Vectors != 1<<16 {
+		t.Fatalf("coverage accounting wrong: %+v", crt)
+	}
+	if crt.Comparators != c.Size() {
+		t.Fatalf("comparators %d != program size %d", crt.Comparators, c.Size())
+	}
+	if crt.Witness != nil {
+		t.Fatalf("certified run carries a witness: %+v", crt.Witness)
+	}
+}
+
+// TestCertifySampled exercises the public sampling path above the
+// exhaustive envelope.
+func TestCertifySampled(t *testing.T) {
+	nw, err := Grid(3, 3) // 27 keys: above a 16-key envelope
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, err := c.Certify(&CertifyOptions{MaxExhaustiveKeys: 16, SampleVectors: 1 << 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crt.Exhaustive {
+		t.Fatal("27-key network reported exhaustive under a 16-key envelope")
+	}
+	if !crt.Certified {
+		t.Fatalf("correct program failed sampled certification: witness %+v", crt.Witness)
+	}
+	if crt.Vectors < 1<<12 {
+		t.Fatalf("sampled too few vectors: %d", crt.Vectors)
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"productsort"
+	"productsort/internal/stats"
+)
+
+// certEntry is one (network, engine) certification run in
+// BENCH_cert.json.
+type certEntry struct {
+	Network     string  `json:"network"`
+	Engine      string  `json:"engine"`
+	Nodes       int     `json:"nodes"`
+	Mode        string  `json:"mode"` // "exhaustive" or "sampled"
+	Certified   bool    `json:"certified"`
+	Vectors     uint64  `json:"vectors"`
+	Words       uint64  `json:"words"`
+	WordOps     uint64  `json:"wordOps"`
+	Ops         int     `json:"ops"`
+	Comparators int     `json:"comparators"`
+	Dead        int     `json:"deadComparators"`
+	ElapsedMs   float64 `json:"elapsedMs"`
+	Witness     string  `json:"witness,omitempty"`
+}
+
+// certReport is the BENCH_cert.json document.
+type certReport struct {
+	Generated         string      `json:"generated"`
+	MaxExhaustiveKeys int         `json:"maxExhaustiveKeys"`
+	SampleVectors     int         `json:"sampleVectors"`
+	Entries           []certEntry `json:"entries"`
+}
+
+// certTarget is one network to certify with each applicable engine.
+type certTarget struct {
+	build func() (*productsort.Network, error)
+}
+
+// runCertBench certifies every built-in factor family / engine
+// combination: exhaustively for networks of at most maxKeys keys, by
+// seeded sampling for a set of larger representatives. Any
+// non-certified exhaustive run (or sampled counterexample) fails the
+// invocation — this is the `make cert` CI gate.
+func runCertBench(path string, maxKeys, sample, workers int) error {
+	if maxKeys < 4 {
+		return fmt.Errorf("cert bench: -certmax %d < 4", maxKeys)
+	}
+	exhaustiveTargets := []certTarget{
+		{func() (*productsort.Network, error) { return productsort.Hypercube(2) }},
+		{func() (*productsort.Network, error) { return productsort.Hypercube(3) }},
+		{func() (*productsort.Network, error) { return productsort.Hypercube(4) }},
+		{func() (*productsort.Network, error) { return productsort.Grid(3, 2) }},
+		{func() (*productsort.Network, error) { return productsort.Grid(4, 2) }},
+		{func() (*productsort.Network, error) { return productsort.Torus(3, 2) }},
+		{func() (*productsort.Network, error) { return productsort.Torus(4, 2) }},
+		{func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(2, 2) }},
+		{func() (*productsort.Network, error) { return productsort.DeBruijnProduct(2, 2, 2) }},
+		{func() (*productsort.Network, error) { return productsort.ShuffleExchangeProduct(2, 2) }},
+	}
+	sampledTargets := []certTarget{
+		{func() (*productsort.Network, error) { return productsort.Grid(3, 3) }},
+		{func() (*productsort.Network, error) { return productsort.Hypercube(5) }},
+		{func() (*productsort.Network, error) { return productsort.PetersenCube(2) }},
+		{func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) }},
+	}
+
+	report := certReport{
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		MaxExhaustiveKeys: maxKeys,
+		SampleVectors:     sample,
+	}
+	table := stats.NewTable("Certification: bitsliced 0-1 proof per (network, engine)",
+		"network", "engine", "keys", "mode", "vectors", "comparators", "dead", "verdict", "wall")
+	failures := 0
+
+	run := func(nw *productsort.Network, engine string, forceSampled bool) error {
+		s, err := productsort.NewSorter(productsort.WithEngine(engine))
+		if err != nil {
+			return err
+		}
+		c, err := s.Compile(nw)
+		if err != nil {
+			return err
+		}
+		crt, err := c.Certify(&productsort.CertifyOptions{
+			Workers:           workers,
+			MaxExhaustiveKeys: maxKeys,
+			SampleVectors:     sample,
+			Seed:              1,
+			ForceSampled:      forceSampled,
+		})
+		if err != nil {
+			return err
+		}
+		mode := "sampled"
+		if crt.Exhaustive {
+			mode = "exhaustive"
+		}
+		e := certEntry{
+			Network: nw.Name(), Engine: engine, Nodes: nw.Nodes(), Mode: mode,
+			Certified: crt.Certified, Vectors: crt.Vectors, Words: crt.Words,
+			WordOps: crt.WordOps, Ops: crt.Ops, Comparators: crt.Comparators,
+			Dead:      len(crt.Dead),
+			ElapsedMs: float64(crt.Elapsed) / float64(time.Millisecond),
+		}
+		verdict := "CERTIFIED"
+		if !crt.Exhaustive {
+			verdict = "pass (sampled)"
+		}
+		if !crt.Certified {
+			failures++
+			verdict = "FAILED"
+			if crt.Witness != nil {
+				e.Witness = fmt.Sprint(crt.Witness)
+			}
+		}
+		report.Entries = append(report.Entries, e)
+		table.Add(nw.Name(), engine, nw.Nodes(), mode, e.Vectors, e.Comparators, e.Dead,
+			verdict, fmt.Sprintf("%.1fms", e.ElapsedMs))
+		return nil
+	}
+
+	for _, tgt := range exhaustiveTargets {
+		nw, err := tgt.build()
+		if err != nil {
+			return err
+		}
+		if nw.Nodes() > maxKeys {
+			continue
+		}
+		engines := []string{"auto", "shearsort", "snake-oet"}
+		if nw.FactorSize() == 2 {
+			engines = append(engines, "opt4")
+		}
+		for _, engine := range engines {
+			if err := run(nw, engine, false); err != nil {
+				return fmt.Errorf("cert bench: %s/%s: %w", nw.Name(), engine, err)
+			}
+		}
+	}
+	for _, tgt := range sampledTargets {
+		nw, err := tgt.build()
+		if err != nil {
+			return err
+		}
+		if err := run(nw, "auto", true); err != nil {
+			return fmt.Errorf("cert bench: %s/auto: %w", nw.Name(), err)
+		}
+	}
+
+	table.Note("exhaustive: all 2^keys 0-1 vectors replayed bitsliced (64/word) — a sorting proof "+
+		"by the 0-1 principle; sampled: %d seeded random vectors (refutation + dead-comparator lint only)", sample)
+	table.Render(os.Stdout)
+
+	if err := writeJSONArtifact(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	if failures > 0 {
+		return fmt.Errorf("cert bench: %d certification failure(s)", failures)
+	}
+	return nil
+}

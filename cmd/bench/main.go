@@ -9,6 +9,7 @@
 //	bench -trace t.json    # trace one sort, write a Chrome trace
 //	bench -schedule        # cold-vs-warm schedule benchmark
 //	bench -chaos           # resilient sorts under injected faults
+//	bench -cert            # bitsliced 0-1 certification of compiled programs
 //
 // Profiling flags (-cpuprofile, -memprofile) apply to every mode, so a
 // single run produces a flamegraph-able profile alongside its output.
@@ -41,10 +42,14 @@ func run() int {
 	schedMode := flag.Bool("schedule", false, "benchmark cold compile vs warm replay of the cached phase program and exit")
 	schedOut := flag.String("scheduleout", "BENCH_schedule.json", "output path for -schedule")
 	schedSets := flag.Int("sets", 64, "key sets per topology for -schedule")
-	schedWorkers := flag.Int("workers", 0, "worker pool size for -schedule (0 = GOMAXPROCS)")
+	schedWorkers := flag.Int("workers", 0, "worker pool size for -schedule and -cert (0 = GOMAXPROCS)")
 	chaosMode := flag.Bool("chaos", false, "run resilient sorts under injected faults across topologies and exit")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -chaos")
 	chaosSeeds := flag.Int("seeds", 5, "fault seeds per (topology, scenario) cell for -chaos")
+	certMode := flag.Bool("cert", false, "certify built-in family/engine programs with the bitsliced 0-1 engine and exit")
+	certOut := flag.String("certout", "BENCH_cert.json", "output path for -cert")
+	certMax := flag.Int("certmax", 20, "largest key count certified exhaustively for -cert")
+	certSample := flag.Int("certsample", 1<<16, "sampled-mode vector count for -cert")
 	tracePath := flag.String("trace", "", "trace one sort on the selected network (-network/-n/-r), write Chrome trace_event JSON to this path, and exit")
 	metricsPath := flag.String("metricsout", "", "with -trace: also write the metrics registry snapshot as JSON to this path")
 	traceSeed := flag.Int64("traceseed", 1, "workload seed for -trace")
@@ -103,6 +108,12 @@ func run() int {
 		return 0
 	case *chaosMode:
 		if err := runChaosBench(*chaosOut, *chaosSeeds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *certMode:
+		if err := runCertBench(*certOut, *certMax, *certSample, *schedWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

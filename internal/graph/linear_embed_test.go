@@ -1,0 +1,74 @@
+package graph
+
+import "testing"
+
+// Table-driven checks of the dilation-3 linear-array embedding
+// (Section 2 of the paper, via Karaganis' tree-cube construction) on
+// the non-Hamiltonian factors the repo ships: stars, complete binary
+// trees, and the Petersen graph. Each case asserts the three load-
+// bearing properties edge by edge: the order is a permutation,
+// consecutive vertices sit within distance 3 in the original graph,
+// and the relabeled graph's label dilation is at most 3.
+func TestThreeDilationEmbedding(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"star-6", Star(6)},
+		{"star-8", Star(8)},
+		{"cbt-3", CompleteBinaryTree(3)},
+		{"cbt-4", CompleteBinaryTree(4)},
+		{"petersen", Petersen()},
+		{"random-tree-17", RandomTree(17, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			order := ThreeDilationOrder(g)
+			if len(order) != g.N() {
+				t.Fatalf("order has %d entries, graph has %d vertices", len(order), g.N())
+			}
+			seen := make([]bool, g.N())
+			for i, v := range order {
+				if v < 0 || v >= g.N() {
+					t.Fatalf("order[%d] = %d out of range", i, v)
+				}
+				if seen[v] {
+					t.Fatalf("order[%d] = %d repeats a vertex", i, v)
+				}
+				seen[v] = true
+			}
+			for i := 0; i+1 < len(order); i++ {
+				if d := g.Dist(order[i], order[i+1]); d > 3 {
+					t.Errorf("consecutive vertices %d -> %d at distance %d > 3",
+						order[i], order[i+1], d)
+				}
+			}
+			rg := LinearRelabel(g)
+			if got := rg.MaxLabelDilation(); got > 3 {
+				t.Errorf("LinearRelabel: max label dilation %d > 3", got)
+			}
+			if rg.N() != g.N() {
+				t.Errorf("LinearRelabel changed vertex count: %d != %d", rg.N(), g.N())
+			}
+		})
+	}
+}
+
+// TestThreeDilationHamiltonianIdentity pins the fast path: a factor
+// whose identity labeling already traces a Hamiltonian path must come
+// back unchanged (dilation one), not rerouted through the tree-cube
+// construction.
+func TestThreeDilationHamiltonianIdentity(t *testing.T) {
+	for _, g := range []*Graph{Path(5), Cycle(6), Complete(4)} {
+		order := ThreeDilationOrder(g)
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%s: Hamiltonian-labeled graph reordered: order[%d] = %d", g.Name(), i, v)
+			}
+		}
+		if got := LinearRelabel(g).MaxLabelDilation(); got != 1 {
+			t.Fatalf("%s: dilation %d, want 1 on Hamiltonian labeling", g.Name(), got)
+		}
+	}
+}

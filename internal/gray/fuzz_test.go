@@ -1,0 +1,143 @@
+package gray
+
+import "testing"
+
+// Fuzz targets for the gray-code kernel: the snake order is the ground
+// truth every sortedness judgement in the repo (including the 0-1
+// certifier) is stated in, so its rank/unrank bijections and the
+// split-position lemma get adversarial inputs, not just table tests.
+// `make fuzz` runs each target briefly; the f.Add seeds double as a
+// committed regression corpus.
+
+// clampDims normalizes fuzz-generated radix/dimension parameters into
+// the supported envelope, keeping n^r small enough to enumerate.
+func clampDims(n, r uint8) (int, int) {
+	nn := 2 + int(n)%15 // radix 2..16
+	rr := 1 + int(r)%5  // dimension 1..5
+	for Pow(nn, rr) > 1<<16 {
+		rr--
+	}
+	return nn, rr
+}
+
+// FuzzRankUnrank checks the lexicographic bijection: Unrank∘Rank is the
+// identity on labels, Rank∘Unrank the identity on [0, n^r), and every
+// unranked digit is in range.
+func FuzzRankUnrank(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint32(5))
+	f.Add(uint8(3), uint8(2), uint32(8))
+	f.Add(uint8(10), uint8(2), uint32(99))
+	f.Add(uint8(16), uint8(4), uint32(65535))
+	f.Fuzz(func(t *testing.T, n, r uint8, rank uint32) {
+		nn, rr := clampDims(n, r)
+		total := Pow(nn, rr)
+		rk := int(rank) % total
+		label := Unrank(rk, nn, make([]int, rr))
+		for i, d := range label {
+			if d < 0 || d >= nn {
+				t.Fatalf("Unrank(%d, %d) digit %d = %d out of range", rk, nn, i, d)
+			}
+		}
+		if back := Rank(label, nn); back != rk {
+			t.Fatalf("Rank(Unrank(%d)) = %d", rk, back)
+		}
+	})
+}
+
+// FuzzSnakeRankUnrank checks the snake-order bijection (Definition 2 /
+// Definition 3) and the Gray property: consecutive snake labels are at
+// Hamming distance exactly 1.
+func FuzzSnakeRankUnrank(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint32(0))
+	f.Add(uint8(3), uint8(3), uint32(13))
+	f.Add(uint8(5), uint8(2), uint32(24))
+	f.Add(uint8(16), uint8(3), uint32(4095))
+	f.Fuzz(func(t *testing.T, n, r uint8, rank uint32) {
+		nn, rr := clampDims(n, r)
+		total := Pow(nn, rr)
+		rk := int(rank) % total
+		label := SnakeUnrank(rk, nn, make([]int, rr))
+		if back := SnakeRank(label, nn); back != rk {
+			t.Fatalf("SnakeRank(SnakeUnrank(%d)) = %d (label %v)", rk, back, label)
+		}
+		if rk+1 < total {
+			next := SnakeUnrank(rk+1, nn, make([]int, rr))
+			if d := Dist(label, next); d != 1 {
+				t.Fatalf("snake neighbors %v -> %v at distance %d, want 1", label, next, d)
+			}
+		}
+	})
+}
+
+// FuzzSplitPosLemma checks the split-position lemma of Section 2 for
+// any radix/dimension: SplitPos(j, u, n) is the snake position of the
+// j-th label whose dimension-1 symbol is u. Because dimension 1 varies
+// fastest, each block of n consecutive snake positions contains the
+// symbol u exactly once — verifying the block certifies "j-th-ness"
+// without scanning the whole order.
+func FuzzSplitPosLemma(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(1), uint16(0))
+	f.Add(uint8(3), uint8(3), uint8(2), uint16(7))
+	f.Add(uint8(4), uint8(2), uint8(0), uint16(3))
+	f.Add(uint8(10), uint8(2), uint8(9), uint16(9))
+	f.Fuzz(func(t *testing.T, n, r, u uint8, j uint16) {
+		nn, rr := clampDims(n, r)
+		if rr < 2 {
+			rr = 2
+			for Pow(nn, rr) > 1<<16 {
+				nn--
+			}
+		}
+		uu := int(u) % nn
+		groups := Pow(nn, rr-1) // number of labels with a fixed dim-1 symbol
+		jj := int(j) % groups
+		pos := SplitPos(jj, uu, nn)
+		if pos < jj*nn || pos >= (jj+1)*nn {
+			t.Fatalf("SplitPos(%d,%d,%d) = %d outside block [%d,%d)", jj, uu, nn, pos, jj*nn, (jj+1)*nn)
+		}
+		buf := make([]int, rr)
+		hits := 0
+		for p := jj * nn; p < (jj+1)*nn; p++ {
+			label := SnakeUnrank(p, nn, buf)
+			if label[0] == uu {
+				hits++
+				if p != pos {
+					t.Fatalf("block %d: symbol %d at snake pos %d, SplitPos says %d", jj, uu, p, pos)
+				}
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("block %d contains dim-1 symbol %d %d times, want exactly once", jj, uu, hits)
+		}
+	})
+}
+
+// FuzzMixedRadixRoundTrip checks the mixed-radix generalizations used
+// by heterogeneous networks: both bijections round-trip and the snake
+// retains the unit-step property across arbitrary per-dimension
+// radices.
+func FuzzMixedRadixRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), uint32(10))
+	f.Add(uint8(5), uint8(2), uint8(3), uint32(29))
+	f.Add(uint8(7), uint8(7), uint8(1), uint32(48))
+	f.Fuzz(func(t *testing.T, a, b, c uint8, rank uint32) {
+		radix := []int{2 + int(a)%9, 1 + int(b)%10, 1 + int(c)%10}
+		total := PowMixed(radix)
+		rk := int(rank) % total
+		label := UnrankMixed(rk, radix, make([]int, len(radix)))
+		if back := RankMixed(label, radix); back != rk {
+			t.Fatalf("RankMixed(UnrankMixed(%d)) = %d (radix %v)", rk, back, radix)
+		}
+		slabel := SnakeUnrankMixed(rk, radix, make([]int, len(radix)))
+		if back := SnakeRankMixed(slabel, radix); back != rk {
+			t.Fatalf("SnakeRankMixed(SnakeUnrankMixed(%d)) = %d (radix %v)", rk, back, radix)
+		}
+		if rk+1 < total {
+			next := SnakeUnrankMixed(rk+1, radix, make([]int, len(radix)))
+			if d := Dist(slabel, next); d != 1 {
+				t.Fatalf("mixed snake neighbors %v -> %v at distance %d, want 1 (radix %v)",
+					slabel, next, d, radix)
+			}
+		}
+	})
+}

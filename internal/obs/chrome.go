@@ -38,6 +38,7 @@ type recMessages struct {
 type Recorder struct {
 	mu       sync.Mutex
 	start    time.Time
+	nowFn    func() time.Time  // nil means time.Now
 	open     map[int]time.Time // op index -> begin time
 	phases   []recorded
 	recovery []recRecovery
@@ -50,9 +51,23 @@ func NewRecorder() *Recorder {
 	return &Recorder{open: make(map[int]time.Time)}
 }
 
-// now stamps the origin lazily so traces start near zero.
+// SetNow replaces the recorder's clock (time.Now by default). Feeding a
+// deterministic clock makes the exported trace byte-for-byte
+// reproducible — the golden-file test uses this; production code never
+// needs it. Call before the first event.
+func (r *Recorder) SetNow(fn func() time.Time) {
+	r.mu.Lock()
+	r.nowFn = fn
+	r.mu.Unlock()
+}
+
+// now stamps the origin lazily so traces start near zero. Callers hold
+// r.mu.
 func (r *Recorder) now() time.Time {
 	t := time.Now()
+	if r.nowFn != nil {
+		t = r.nowFn()
+	}
 	if r.start.IsZero() {
 		r.start = t
 	}

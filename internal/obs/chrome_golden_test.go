@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fakeClock is a deterministic clock that advances a fixed step per
+// reading, so every timestamp in the exported trace is a function of
+// the event sequence alone.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	t := c.t
+	c.t = c.t.Add(c.step)
+	return t
+}
+
+// goldenRecorder replays a fixed event script — sweep and S2 exchange
+// phases on two dimensions, an idle round, a routed phase, recovery
+// events with and without window/phase attribution, and SPMD traffic
+// counters — through a Recorder on the fake clock.
+func goldenRecorder() *Recorder {
+	clock := &fakeClock{
+		t:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		step: 250 * time.Microsecond,
+	}
+	r := NewRecorder()
+	r.SetNow(clock.now)
+
+	phases := []Phase{
+		{Index: 0, Kind: PhaseExchange, Dim: 1, S2: false, Cost: 1, Pairs: 4},
+		{Index: 1, Kind: PhaseExchange, Dim: 2, S2: false, Cost: 1, Pairs: 4},
+		{Index: 2, Kind: PhaseIdle, Dim: 0, S2: false, Cost: 2, Pairs: 0},
+		{Index: 3, Kind: PhaseExchange, Dim: 1, S2: true, Cost: 1, Pairs: 3},
+		{Index: 4, Kind: PhaseRouted, Dim: 2, S2: true, Cost: 3, Pairs: 2},
+	}
+	for _, p := range phases {
+		r.PhaseBegin(p)
+		r.PhaseEnd(p)
+	}
+	// End without a matching begin: recorded as an instant event.
+	r.PhaseEnd(Phase{Index: 5, Kind: PhaseExchange, Dim: 1, Cost: 1, Pairs: 1})
+
+	r.RecoveryEvent(Recovery{Kind: RecoveryCheckpoint, Lo: 0, Hi: 4, Phase: -1})
+	r.RecoveryEvent(Recovery{Kind: RecoveryScrubDetect, Lo: -1, Hi: -1, Phase: 3, Rounds: 1})
+	r.RecoveryEvent(Recovery{Kind: RecoveryRetransmit, Lo: -1, Hi: -1, Phase: 4, Rounds: 2, Count: 3})
+
+	r.MessageStats(Messages{Phase: 0, Sent: 16, Relays: 4, Rounds: 2})
+	r.MessageStats(Messages{Phase: 1, Sent: 12, Relays: 0, Rounds: 1})
+	return r
+}
+
+// TestChromeTraceGolden locks the Chrome trace_event export format:
+// a fixed event script on a deterministic clock must serialize
+// byte-for-byte to the committed golden file. encoding/json emits map
+// keys (the Args objects) in sorted order, so the bytes are stable.
+// Regenerate deliberately with: go test ./internal/obs/ -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Chrome trace drifted from golden file %s.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestChromeTraceDeterministic double-checks the property the golden
+// test rests on: two identical event scripts export identical bytes.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRecorder().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRecorder().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical event scripts exported different traces")
+	}
+}
+
+// TestRecorderBreakdownOnFakeClock pins the wall-time aggregation on
+// the fake clock: each begin/end pair spans exactly one step, so the
+// per-bucket wall sums are known constants.
+func TestRecorderBreakdownOnFakeClock(t *testing.T) {
+	r := goldenRecorder()
+	if got := r.Phases(); got != 6 {
+		t.Fatalf("recorded %d phases, want 6", got)
+	}
+	// Every completed pair spans one 250µs step; the unmatched end is
+	// an instant (0 wall).
+	var wall time.Duration
+	for _, st := range r.Breakdown() {
+		wall += st.Wall
+	}
+	if want := 5 * 250 * time.Microsecond; wall != want {
+		t.Fatalf("total breakdown wall = %v, want %v", wall, want)
+	}
+	if got, want := r.RoundTotal(), 1+1+2+1+3+1; got != want {
+		t.Fatalf("RoundTotal = %d, want %d", got, want)
+	}
+	if got := r.RecoveryRounds(); got != 3 {
+		t.Fatalf("RecoveryRounds = %d, want 3", got)
+	}
+	if got := r.RecoveryCount(RecoveryRetransmit); got != 3 {
+		t.Fatalf("RecoveryCount(retransmit) = %d, want 3", got)
+	}
+}

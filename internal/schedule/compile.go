@@ -179,5 +179,13 @@ func build(sig string, net *product.Network, engine sort2d.Engine, drive func(*c
 	statCompiles.Add(1)
 	b := NewBuilder(net)
 	drive(core.New(engine), b)
-	return b.Program(engine.Name(), sig), nil
+	prog = b.Program(engine.Name(), sig)
+	// Freshly built programs are validated once, here, so every cached
+	// program satisfies the structural invariants (in-range,
+	// node-disjoint pairs; balanced S2 brackets) that backends and the
+	// 0-1 certifier rely on.
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
 }
