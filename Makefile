@@ -20,7 +20,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 COVER_FLOOR ?= 80.0
 
 .PHONY: ci vet build test test-shuffle race fmtcheck fmt lint lint-tools cover \
-	bench-schedule chaos fuzz cert
+	bench-schedule chaos fuzz cert serve-soak bench-serve
 
 ci: vet build test race fmtcheck lint cover
 
@@ -109,3 +109,14 @@ fuzz:
 # Fails on any counterexample. Writes BENCH_cert.json.
 cert:
 	$(GO) run ./cmd/bench -cert -certmax 16
+
+# Serving soak: the batching sort server hammered from many goroutines
+# under the race detector for a few seconds — deadlines, cancellations,
+# shedding and graceful drain all exercised concurrently.
+serve-soak:
+	SOAK_MS=3000 $(GO) test -race -run TestServerSoak -count=1 ./internal/serve/
+
+# Serving saturation curve: open-loop offered load against the server;
+# prints the throughput/latency table and writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/bench -serve

@@ -46,6 +46,12 @@ func run() int {
 	chaosMode := flag.Bool("chaos", false, "run resilient sorts under injected faults across topologies and exit")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -chaos")
 	chaosSeeds := flag.Int("seeds", 5, "fault seeds per (topology, scenario) cell for -chaos")
+	serveMode := flag.Bool("serve", false, "drive the batching sort service with open-loop load and exit")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for -serve")
+	serveDur := flag.Duration("servedur", 2*time.Second, "measurement time per offered-load level for -serve")
+	serveLoads := flag.String("loads", "2000,5000,10000,15000", "comma-separated offered loads (requests/sec) for -serve")
+	serveSizes := flag.Int("servesizes", 64, "largest request size for -serve (Zipf sizes in 1..this)")
+	serveSeed := flag.Int64("serveseed", 1, "arrival/size seed for -serve")
 	certMode := flag.Bool("cert", false, "certify built-in family/engine programs with the bitsliced 0-1 engine and exit")
 	certOut := flag.String("certout", "BENCH_cert.json", "output path for -cert")
 	certMax := flag.Int("certmax", 20, "largest key count certified exhaustively for -cert")
@@ -108,6 +114,12 @@ func run() int {
 		return 0
 	case *chaosMode:
 		if err := runChaosBench(*chaosOut, *chaosSeeds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *serveMode:
+		if err := runServeBench(*serveOut, *serveLoads, *serveDur, *serveSizes, *serveSeed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -1,6 +1,7 @@
 package productsort_test
 
 import (
+	"context"
 	"fmt"
 
 	"productsort"
@@ -83,6 +84,18 @@ func ExampleRectGrid() {
 	// [0 1 2 3 4 5 6 7]
 	// 0 1 2 3
 	// 7 6 5 4
+}
+
+// Serving: a Server sorts requests of any admissible size by batching
+// them onto compiled networks. SortKeys is the synchronous form; Submit
+// returns a reply channel for pipelined callers.
+func ExampleServer() {
+	srv, _ := productsort.NewServer(productsort.ServerConfig{MaxKeys: 64})
+	defer srv.Close(context.Background())
+	sorted, _ := srv.SortKeys(context.Background(), []productsort.Key{9, 1, 8, 2, 7, 3})
+	fmt.Println(sorted)
+	// Output:
+	// [1 2 3 7 8 9]
 }
 
 // The paper's multiway merge as an ordinary slice procedure.

@@ -137,6 +137,21 @@ func Compile(net *product.Network, engine sort2d.Engine) (*Program, error) {
 	})
 }
 
+// CompileUncached builds the full-sort program for net without
+// consulting or populating the process-wide cache. It exists for
+// callers that manage their own bounded caches — e.g. the serving
+// layer's LRU plan cache — where evicting an entry must actually
+// release the program's memory instead of leaving it pinned here.
+func CompileUncached(net *product.Network, engine sort2d.Engine) (*Program, error) {
+	if engine == nil {
+		engine = sort2d.Auto{}
+	}
+	sig := signature(net, engine.Name(), "sort")
+	return build(sig, net, engine, func(s *core.Sorter, b *Builder) {
+		s.Sort(b)
+	})
+}
+
 // CompileMerge returns the phase program of one multiway merge along
 // dimension k (Lemma 3), cached like Compile.
 func CompileMerge(net *product.Network, engine sort2d.Engine, k int) (*Program, error) {

@@ -22,6 +22,7 @@ package schedule
 
 import (
 	"fmt"
+	"sync"
 
 	"productsort/internal/product"
 	"productsort/internal/simnet"
@@ -102,6 +103,9 @@ type Program struct {
 	sig    string
 	ops    []Op
 	clock  simnet.Clock
+
+	permOnce sync.Once
+	perm     []int // snake position -> node id, built on first use
 }
 
 // Net returns the product network the program was compiled for. Cached
@@ -128,6 +132,19 @@ func (p *Program) Clock() simnet.Clock { return p.clock }
 
 // Rounds returns the total parallel round charge of one replay.
 func (p *Program) Rounds() int { return p.clock.Rounds }
+
+// SnakePerm returns the snake-to-node transpose table (perm[pos] is the
+// node id holding snake position pos), built once per program and shared
+// by every batch replay. Read only.
+func (p *Program) SnakePerm() []int {
+	p.permOnce.Do(func() {
+		p.perm = make([]int, p.net.Nodes())
+		for pos := range p.perm {
+			p.perm[pos] = p.net.NodeAtSnake(pos)
+		}
+	})
+	return p.perm
+}
 
 // Depth returns the number of round-consuming ops (exchange phases plus
 // idle rounds).

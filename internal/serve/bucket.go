@@ -1,0 +1,198 @@
+// Buckets: per-plan dynamic batching with bounded occupancy.
+
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"productsort/internal/obs"
+	"productsort/internal/schedule"
+)
+
+// BatchSizeBuckets is the histogram layout for flushed batch sizes.
+var BatchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// bucket batches every request the planner maps to one plan. All
+// requests in a bucket pad to the same node count, so any mix of sizes
+// it covers can share a flush.
+type bucket struct {
+	srv  *Server
+	plan *Plan
+	prog *schedule.Program
+
+	queue       chan *request
+	outstanding atomic.Int64 // admitted minus replied; bounded by QueueDepth
+	buf         *schedule.BatchBuffer
+
+	occupancy *obs.Gauge
+	latency   *obs.Histogram
+	batchSize *obs.Histogram
+	flushes   *obs.Counter
+	shed      *obs.Counter
+}
+
+// newBucket wires a bucket's queue and per-bucket instruments
+// (serve.bucket.<network>.*).
+func newBucket(s *Server, plan *Plan, prog *schedule.Program) *bucket {
+	prefix := "serve.bucket." + plan.Name()
+	return &bucket{
+		srv:  s,
+		plan: plan,
+		prog: prog,
+		// outstanding <= QueueDepth bounds queue occupancy too, so the
+		// admission send below can never block.
+		queue:     make(chan *request, s.cfg.QueueDepth),
+		buf:       schedule.NewBatchBuffer(),
+		occupancy: s.met.Gauge(prefix + ".occupancy"),
+		latency:   s.met.Histogram(prefix+".latency_ns", obs.DurationBucketsNs),
+		batchSize: s.met.Histogram(prefix+".batchsize", BatchSizeBuckets),
+		flushes:   s.met.Counter(prefix + ".flushes"),
+		shed:      s.met.Counter(prefix + ".shed"),
+	}
+}
+
+// admit reserves one occupancy slot and enqueues, or reports shedding.
+func (b *bucket) admit(req *request) bool {
+	for {
+		cur := b.outstanding.Load()
+		if cur >= int64(b.srv.cfg.QueueDepth) {
+			b.shed.Inc()
+			return false
+		}
+		if b.outstanding.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	b.occupancy.Set(b.outstanding.Load())
+	select {
+	case b.queue <- req:
+		return true
+	default:
+		// Unreachable while the occupancy invariant holds; fail closed
+		// rather than block admission.
+		b.outstanding.Add(-1)
+		b.shed.Inc()
+		return false
+	}
+}
+
+// loop is the bucket's batching goroutine: accumulate until MaxBatch or
+// MaxLinger after the first pending request, then hand the batch to a
+// flush. On drain it empties the (sealed, finite) queue, flushes the
+// remainder and exits.
+func (b *bucket) loop() {
+	defer b.srv.wg.Done()
+	maxBatch := b.srv.cfg.MaxBatch
+	pending := make([]*request, 0, maxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timerLive = false
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = make([]*request, 0, maxBatch)
+		b.startFlush(batch)
+	}
+	for {
+		select {
+		case req := <-b.queue:
+			pending = append(pending, req)
+			if len(pending) >= maxBatch {
+				flush()
+			} else if !timerLive {
+				timer.Reset(b.srv.cfg.MaxLinger)
+				timerLive = true
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		case <-b.srv.drain:
+			for {
+				select {
+				case req := <-b.queue:
+					pending = append(pending, req)
+					if len(pending) >= maxBatch {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// startFlush runs one batch on the server's bounded worker pool.
+func (b *bucket) startFlush(batch []*request) {
+	b.srv.wg.Add(1)
+	go func() {
+		defer b.srv.wg.Done()
+		b.srv.sem <- struct{}{}
+		defer func() { <-b.srv.sem }()
+		b.runFlush(batch)
+	}()
+}
+
+// runFlush binds the batch and sorts it. A context canceled or expired
+// while the request was enqueued is honored here, before the sort; once
+// bound, a request rides the flush to completion — a mid-flush
+// cancellation neither aborts the sort nor poisons batchmates.
+func (b *bucket) runFlush(batch []*request) {
+	live := batch[:0]
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			b.reply(req, Reply{Err: err, Network: b.plan.Name()})
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if gate := b.srv.flushGate; gate != nil {
+		<-gate
+	}
+	items := make([][]Key, len(live))
+	for i, req := range live {
+		items[i] = req.keys
+	}
+	err := schedule.RunBatchSnake(b.prog, items, 1, b.buf)
+	b.flushes.Inc()
+	b.batchSize.Observe(int64(len(live)))
+	for _, req := range live {
+		if err != nil {
+			b.reply(req, Reply{Err: err, Network: b.plan.Name(), BatchSize: len(live)})
+			continue
+		}
+		b.reply(req, Reply{
+			Keys:      req.keys,
+			Rounds:    b.prog.Rounds(),
+			Network:   b.plan.Name(),
+			BatchSize: len(live),
+		})
+	}
+}
+
+// reply releases the request's occupancy slot, stamps the wait and
+// delivers the single reply (never blocking: out is buffered).
+func (b *bucket) reply(req *request, rep Reply) {
+	rep.Wait = time.Since(req.t0)
+	b.occupancy.Set(b.outstanding.Add(-1))
+	b.latency.Observe(int64(rep.Wait))
+	req.out <- rep
+}

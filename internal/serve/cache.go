@@ -1,0 +1,101 @@
+// The plan cache: a bounded LRU of compiled programs.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"productsort/internal/obs"
+	"productsort/internal/schedule"
+	"productsort/internal/sort2d"
+)
+
+// PlanCache is a bounded LRU of compiled phase programs keyed by the
+// schedule cache signature. Unlike schedule's process-wide compile
+// cache it builds through schedule.CompileUncached, so evicting an
+// entry genuinely releases the program — the property a long-lived
+// multi-tenant server needs when tenants rotate through more topologies
+// than memory should hold. Hits, misses and evictions feed the obs
+// metrics registry under serve.plancache.*.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // signature -> element holding *cacheSlot
+
+	hits, misses, evictions *obs.Counter
+}
+
+// cacheSlot is a once-guarded cache entry: concurrent misses on one
+// signature coalesce into a single compilation, and residency is
+// decided before the (possibly slow) build runs so the cache lock is
+// never held across a compile.
+type cacheSlot struct {
+	key  string
+	once sync.Once
+	prog *schedule.Program
+	err  error
+}
+
+// NewPlanCache returns an LRU holding at most capacity programs
+// (minimum 1), reporting into m (a private registry when nil).
+func NewPlanCache(capacity int, m *obs.Metrics) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	return &PlanCache{
+		cap:       capacity,
+		ll:        list.New(),
+		byKey:     make(map[string]*list.Element),
+		hits:      m.Counter("serve.plancache.hits"),
+		misses:    m.Counter("serve.plancache.misses"),
+		evictions: m.Counter("serve.plancache.evictions"),
+	}
+}
+
+// Len reports the resident entry count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the compiled program for plan, compiling with engine on a
+// miss. A miss inserts the slot at the front and evicts from the back
+// beyond capacity; the compile itself runs outside the cache lock, and
+// a failed compile gives up its residency so a later Get can retry.
+func (c *PlanCache) Get(plan *Plan, engine sort2d.Engine) (*schedule.Program, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[plan.sig]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		slot := el.Value.(*cacheSlot)
+		c.mu.Unlock()
+		slot.once.Do(func() { slot.prog, slot.err = schedule.CompileUncached(plan.Net, engine) })
+		return slot.prog, slot.err
+	}
+	c.misses.Inc()
+	slot := &cacheSlot{key: plan.sig}
+	c.byKey[plan.sig] = c.ll.PushFront(slot)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheSlot).key)
+		c.evictions.Inc()
+	}
+	c.mu.Unlock()
+	slot.once.Do(func() { slot.prog, slot.err = schedule.CompileUncached(plan.Net, engine) })
+	if slot.err != nil {
+		c.mu.Lock()
+		if el, ok := c.byKey[slot.key]; ok && el.Value.(*cacheSlot) == slot {
+			c.ll.Remove(el)
+			delete(c.byKey, slot.key)
+		}
+		c.mu.Unlock()
+	}
+	return slot.prog, slot.err
+}

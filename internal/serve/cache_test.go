@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/obs"
+	"productsort/internal/product"
+)
+
+// testPlans builds a planner over three distinct small topologies and
+// returns its plans ascending by size.
+func testPlans(t *testing.T) (*Planner, []*Plan) {
+	t.Helper()
+	pl, err := NewPlanner([]*product.Network{
+		product.MustNew(graph.K2(), 2),    // 4 nodes
+		product.MustNew(graph.Path(3), 2), // 9 nodes
+		product.MustNew(graph.K2(), 4),    // 16 nodes
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, pl.Plans()
+}
+
+// TestPlanCacheLRU: hits refresh recency, capacity evicts the least
+// recently used entry, and a re-Get after eviction recompiles.
+func TestPlanCacheLRU(t *testing.T) {
+	pl, plans := testPlans(t)
+	m := obs.NewMetrics()
+	c := NewPlanCache(2, m)
+
+	get := func(p *Plan) {
+		t.Helper()
+		prog, err := c.Get(p, pl.Engine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Net() != p.Net {
+			t.Fatalf("cache returned program for %s, want %s", prog.Net().Name(), p.Name())
+		}
+	}
+
+	get(plans[0]) // miss
+	get(plans[0]) // hit
+	get(plans[1]) // miss; order now [1, 0]
+	get(plans[0]) // hit;  order now [0, 1]
+	get(plans[2]) // miss; evicts 1
+	if h, mi, ev := c.hits.Value(), c.misses.Value(), c.evictions.Value(); h != 2 || mi != 3 || ev != 1 {
+		t.Fatalf("hits/misses/evictions = %d/%d/%d, want 2/3/1", h, mi, ev)
+	}
+	get(plans[1]) // miss again: it was evicted
+	if mi := c.misses.Value(); mi != 4 {
+		t.Fatalf("misses = %d, want 4", mi)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// The counters surface in the registry snapshot under stable names.
+	snap := m.Snapshot()
+	if snap.Counters["serve.plancache.misses"] != 4 {
+		t.Fatalf("snapshot misses = %d, want 4", snap.Counters["serve.plancache.misses"])
+	}
+}
+
+// TestPlanCacheConcurrentGets: many goroutines hammering the same plan
+// agree on one program per residency (the once-guard coalesces
+// compiles), and the cache stays consistent under the race detector.
+func TestPlanCacheConcurrentGets(t *testing.T) {
+	pl, plans := testPlans(t)
+	c := NewPlanCache(2, nil)
+	var wg sync.WaitGroup
+	progs := make([]any, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, err := c.Get(plans[i%len(plans)], pl.Engine())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = prog
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range progs {
+		if p == nil {
+			t.Fatalf("goroutine %d got no program", i)
+		}
+	}
+	if c.Len() > 2 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

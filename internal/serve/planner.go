@@ -1,0 +1,121 @@
+// Package serve turns compiled networks into a request-driven sorting
+// service. A planner maps each requested key count to the cheapest
+// covering network (candidates ranked by Theorem 1's predicted round
+// count), a bounded LRU plan cache holds the compiled programs, and
+// size-bucketed dynamic batching accumulates admitted requests per plan
+// until MaxBatch or MaxLinger, then flushes them through
+// schedule.RunBatchSnake on a bounded worker pool. This is Schiller's
+// agglomeration argument — merge many independent sorting-network
+// invocations into one larger network execution — applied to the
+// arrival-driven, multi-tenant setting: requests of heterogeneous sizes
+// arrive continuously, are padded with sentinel keys to the plan's node
+// count, and are sliced back on reply.
+//
+// Admission control keeps the service stable under overload: each
+// bucket bounds its admitted-but-unreplied requests (QueueDepth) and
+// sheds beyond it with the typed ErrQueueFull, request contexts are
+// honored until the request is bound into a flush, and Close seals
+// admission then drains every admitted request before returning.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"productsort/internal/core"
+	"productsort/internal/product"
+	"productsort/internal/schedule"
+	"productsort/internal/sort2d"
+)
+
+// Plan is one candidate network with its planner ranking key.
+type Plan struct {
+	// Net is the candidate product network.
+	Net *product.Network
+	// Rounds is Theorem 1's predicted parallel round count for the
+	// planner's engine — the cost a request pays regardless of how many
+	// batchmates share the flush, hence the ranking key.
+	Rounds int
+
+	sig string // schedule cache signature; the bucket and plan-cache key
+}
+
+// Nodes returns the plan's processor count: requests are padded to it.
+func (p *Plan) Nodes() int { return p.Net.Nodes() }
+
+// Name names the plan's network, e.g. "hypercube^4".
+func (p *Plan) Name() string { return p.Net.Name() }
+
+// Planner maps a requested key count to the cheapest covering plan.
+type Planner struct {
+	engine sort2d.Engine
+	plans  []*Plan // ascending by (Nodes, Rounds, Name)
+	best   []*Plan // best[i] = cheapest plan among plans[i:]
+}
+
+// NewPlanner ranks the candidate networks for the given S_2 engine (nil
+// selects sort2d.Auto). Candidates may overlap in size; the planner
+// picks, for every request size, the covering candidate with the fewest
+// predicted rounds, breaking ties toward fewer nodes then name.
+func NewPlanner(nets []*product.Network, engine sort2d.Engine) (*Planner, error) {
+	if len(nets) == 0 {
+		return nil, errors.New("serve: planner needs at least one candidate network")
+	}
+	if engine == nil {
+		engine = sort2d.Auto{}
+	}
+	plans := make([]*Plan, len(nets))
+	for i, net := range nets {
+		if net == nil {
+			return nil, fmt.Errorf("serve: candidate %d is nil", i)
+		}
+		plans[i] = &Plan{
+			Net:    net,
+			Rounds: core.PredictedRounds(net, engine),
+			sig:    schedule.Signature(net, engine.Name()),
+		}
+	}
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].Nodes() != plans[j].Nodes() {
+			return plans[i].Nodes() < plans[j].Nodes()
+		}
+		if plans[i].Rounds != plans[j].Rounds {
+			return plans[i].Rounds < plans[j].Rounds
+		}
+		return plans[i].Name() < plans[j].Name()
+	})
+	best := make([]*Plan, len(plans))
+	for i := len(plans) - 1; i >= 0; i-- {
+		best[i] = plans[i]
+		// Strict <: on equal rounds prefer the earlier plan, which has
+		// fewer nodes (less padding, less scratch).
+		if i+1 < len(plans) && best[i+1].Rounds < plans[i].Rounds {
+			best[i] = best[i+1]
+		}
+	}
+	return &Planner{engine: engine, plans: plans, best: best}, nil
+}
+
+// Engine returns the S_2 engine every plan was ranked (and will be
+// compiled) with.
+func (pl *Planner) Engine() sort2d.Engine { return pl.engine }
+
+// MaxKeys returns the largest admissible request size.
+func (pl *Planner) MaxKeys() int { return pl.plans[len(pl.plans)-1].Nodes() }
+
+// Plans returns the ranked candidates, ascending by size.
+func (pl *Planner) Plans() []*Plan { return pl.plans }
+
+// For returns the cheapest plan covering n keys.
+func (pl *Planner) For(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, ErrEmpty
+	}
+	i := sort.Search(len(pl.plans), func(i int) bool { return pl.plans[i].Nodes() >= n })
+	if i == len(pl.plans) {
+		return nil, fmt.Errorf("%w: %d keys exceed the largest candidate network (%d nodes)",
+			ErrTooLarge, n, pl.MaxKeys())
+	}
+	return pl.best[i], nil
+}

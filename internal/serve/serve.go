@@ -1,0 +1,281 @@
+// The server: admission control, bucket dispatch, graceful drain.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"productsort/internal/obs"
+	"productsort/internal/simnet"
+)
+
+// Key aliases the machine's key type.
+type Key = simnet.Key
+
+// Typed admission errors. Callers branch with errors.Is.
+var (
+	// ErrQueueFull is the overload-shedding signal: the request's
+	// bucket is at QueueDepth admitted-but-unreplied requests.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClosed rejects submissions after Close sealed admission.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrTooLarge rejects requests no candidate network covers.
+	ErrTooLarge = errors.New("serve: request too large")
+	// ErrEmpty rejects zero-key requests.
+	ErrEmpty = errors.New("serve: empty request")
+)
+
+// Reply is the terminal answer to one Submit, delivered exactly once on
+// the channel Submit returned.
+type Reply struct {
+	// Keys holds the request's keys sorted ascending; nil when Err is
+	// non-nil.
+	Keys []Key
+	// Err is nil on success, the request context's error when the
+	// request was dropped before being bound into a flush.
+	Err error
+	// Rounds is the parallel round charge of the compiled program that
+	// carried the request (every batchmate shares it).
+	Rounds int
+	// Network names the covering network the planner chose.
+	Network string
+	// BatchSize is the number of requests that shared the flush.
+	BatchSize int
+	// Wait is submit-to-reply wall time: queueing, lingering and the
+	// sort itself.
+	Wait time.Duration
+}
+
+// Config parametrizes a Server. The zero value of every field but
+// Planner selects a sensible default.
+type Config struct {
+	// Planner maps request sizes to covering plans. Required.
+	Planner *Planner
+	// MaxBatch flushes a bucket when this many requests have
+	// accumulated (default 64).
+	MaxBatch int
+	// MaxLinger flushes a non-empty bucket this long after its first
+	// pending request arrived, bounding the latency cost of batching
+	// (default 2ms).
+	MaxLinger time.Duration
+	// QueueDepth bounds each bucket's admitted-but-unreplied requests;
+	// submissions beyond it shed with ErrQueueFull (default 1024).
+	QueueDepth int
+	// Workers bounds concurrently running flushes across all buckets
+	// (default GOMAXPROCS).
+	Workers int
+	// PlanCacheSize bounds resident compiled programs (default 16).
+	PlanCacheSize int
+	// Metrics receives serve.* instruments; nil creates a private
+	// registry (reachable via Server.Metrics).
+	Metrics *obs.Metrics
+}
+
+// request is one admitted submission.
+type request struct {
+	keys []Key // private copy, sorted in place, handed back in the reply
+	ctx  context.Context
+	out  chan Reply // buffered 1: the single reply send never blocks
+	t0   time.Time
+}
+
+// Server is the multi-tenant batching sort service. Safe for concurrent
+// use by any number of submitters.
+type Server struct {
+	cfg     Config
+	planner *Planner
+	cache   *PlanCache
+	met     *obs.Metrics
+
+	submitted *obs.Counter
+	shed      *obs.Counter
+
+	sem   chan struct{} // flush worker slots
+	drain chan struct{} // closed once, after admission is sealed
+	wg    sync.WaitGroup
+
+	mu      sync.RWMutex
+	closed  bool
+	buckets map[string]*bucket
+
+	// flushGate, when non-nil, makes every flush block here between
+	// binding its batch and sorting it — a test hook for pinning the
+	// enqueued/mid-flush boundary and for holding queue occupancy.
+	flushGate chan struct{}
+}
+
+// New builds a Server from cfg. The planner is required; everything
+// else defaults.
+func New(cfg Config) (*Server, error) {
+	if cfg.Planner == nil {
+		return nil, errors.New("serve: config needs a planner")
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxLinger <= 0 {
+		cfg.MaxLinger = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PlanCacheSize < 1 {
+		cfg.PlanCacheSize = 16
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = obs.NewMetrics()
+	}
+	return &Server{
+		cfg:       cfg,
+		planner:   cfg.Planner,
+		cache:     NewPlanCache(cfg.PlanCacheSize, met),
+		met:       met,
+		submitted: met.Counter("serve.submitted"),
+		shed:      met.Counter("serve.shed"),
+		sem:       make(chan struct{}, cfg.Workers),
+		drain:     make(chan struct{}),
+		buckets:   make(map[string]*bucket),
+	}, nil
+}
+
+// Metrics returns the registry the server reports into.
+func (s *Server) Metrics() *obs.Metrics { return s.met }
+
+// MaxKeys returns the largest request size the planner covers.
+func (s *Server) MaxKeys() int { return s.planner.MaxKeys() }
+
+// Submit admits keys for sorting and returns the channel the single
+// Reply will arrive on. The keys slice is copied — the caller's slice
+// is neither retained nor mutated. Admission fails fast with a typed
+// error: ErrEmpty, ErrTooLarge, ErrClosed, ErrQueueFull (overload), or
+// the context's error if ctx is already done. After admission the
+// context is honored until the request is bound into a flush; from then
+// on the sort completes and the reply is delivered regardless, so a
+// cancellation can never poison batchmates.
+func (s *Server) Submit(ctx context.Context, keys []Key) (<-chan Reply, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(keys) == 0 {
+		return nil, ErrEmpty
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := s.planner.For(len(keys))
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.bucketFor(plan)
+	if err != nil {
+		return nil, err
+	}
+	req := &request{
+		keys: append(make([]Key, 0, len(keys)), keys...),
+		ctx:  ctx,
+		out:  make(chan Reply, 1),
+		t0:   time.Now(),
+	}
+	// Admission happens under the read lock so Close (write lock)
+	// cannot seal the server between our closed-check and the enqueue:
+	// every admitted request is visible to the drain.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if !b.admit(req) {
+		s.shed.Inc()
+		return nil, fmt.Errorf("%w: bucket %s at depth %d", ErrQueueFull, b.plan.Name(), s.cfg.QueueDepth)
+	}
+	s.submitted.Inc()
+	return req.out, nil
+}
+
+// SortKeys is the synchronous helper: Submit, then wait for the reply
+// or the context. It returns the sorted keys in a fresh slice.
+func (s *Server) SortKeys(ctx context.Context, keys []Key) ([]Key, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := s.Submit(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case rep := <-out:
+		return rep.Keys, rep.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// bucketFor returns (creating and starting on first use) the bucket
+// serving plan. Creation compiles the plan's program through the LRU
+// plan cache outside the server lock.
+func (s *Server) bucketFor(plan *Plan) (*bucket, error) {
+	s.mu.RLock()
+	b := s.buckets[plan.sig]
+	closed := s.closed
+	s.mu.RUnlock()
+	if b != nil {
+		return b, nil
+	}
+	if closed {
+		return nil, ErrClosed
+	}
+	prog, err := s.cache.Get(plan, s.planner.Engine())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if b := s.buckets[plan.sig]; b != nil {
+		return b, nil
+	}
+	b = newBucket(s, plan, prog)
+	s.buckets[plan.sig] = b
+	s.wg.Add(1)
+	go b.loop()
+	return b, nil
+}
+
+// Close seals admission and drains gracefully: every admitted request
+// receives its reply, then all bucket loops and flushes exit. ctx (nil
+// means Background) bounds the wait; on expiry the drain continues in
+// the background and Close returns ctx.Err(). Close is idempotent and
+// safe to call concurrently.
+func (s *Server) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.drain)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,69 @@
+// Arrival processes and request-size distributions for serving
+// experiments: open-loop load for cmd/bench -serve. Deterministic under
+// a fixed seed, like the key generators.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PoissonArrivals returns n inter-arrival gaps of a Poisson process
+// with the given mean rate (requests per second): exponentially
+// distributed, deterministic under seed. gaps[i] is the wait before
+// request i; a sender walks next = next + gaps[i].
+func PoissonArrivals(n int, perSec float64, seed int64) []time.Duration {
+	if n < 0 || perSec <= 0 {
+		panic(fmt.Sprintf("workload: PoissonArrivals(%d, %g)", n, perSec))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		gaps[i] = time.Duration(rng.ExpFloat64() / perSec * float64(time.Second))
+	}
+	return gaps
+}
+
+// BurstyArrivals returns n inter-arrival gaps of an on-off modulated
+// Poisson process: the rate alternates between burstRate (for onFrac of
+// each period) and baseRate (the rest), switching on a fixed wall-clock
+// phase so bursts recur every period. onFrac must lie in (0, 1) and
+// burstRate should exceed baseRate for the name to mean anything.
+func BurstyArrivals(n int, baseRate, burstRate, onFrac float64, period time.Duration, seed int64) []time.Duration {
+	if n < 0 || baseRate <= 0 || burstRate <= 0 || onFrac <= 0 || onFrac >= 1 || period <= 0 {
+		panic(fmt.Sprintf("workload: BurstyArrivals(%d, %g, %g, %g, %v)", n, baseRate, burstRate, onFrac, period))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gaps := make([]time.Duration, n)
+	on := time.Duration(onFrac * float64(period))
+	var t time.Duration // virtual clock, phase within period decides the rate
+	for i := range gaps {
+		rate := baseRate
+		if t%period < on {
+			rate = burstRate
+		}
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		gaps[i] = gap
+		t += gap
+	}
+	return gaps
+}
+
+// ZipfSizes returns n request sizes in [min, max] drawn from a Zipf
+// distribution with exponent s > 1: mostly small requests with a heavy
+// tail of large ones, the shape multi-tenant sort traffic has.
+// Deterministic under seed.
+func ZipfSizes(n, min, max int, s float64, seed int64) []int {
+	if n < 0 || min < 1 || max < min || s <= 1 {
+		panic(fmt.Sprintf("workload: ZipfSizes(%d, %d, %d, %g)", n, min, max, s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(max-min))
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = min + int(z.Uint64())
+	}
+	return sizes
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoissonArrivalsDeterministic: same (n, rate, seed) → identical
+// gaps; a different seed diverges.
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(256, 1000, 42)
+	b := PoissonArrivals(256, 1000, 42)
+	if len(a) != 256 {
+		t.Fatalf("len = %d, want 256", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs under the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := PoissonArrivals(256, 1000, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+// TestPoissonArrivalsMean: the empirical mean gap approximates 1/rate.
+func TestPoissonArrivalsMean(t *testing.T) {
+	const rate = 5000.0
+	gaps := PoissonArrivals(20000, rate, 7)
+	var sum time.Duration
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / float64(len(gaps))
+	want := float64(time.Second) / rate
+	if mean < 0.9*want || mean > 1.1*want {
+		t.Fatalf("mean gap %v, want about %v", time.Duration(mean), time.Duration(want))
+	}
+}
+
+// TestBurstyArrivalsModulates: the on-phase runs hotter than the
+// off-phase, and the whole trace is seed-deterministic.
+func TestBurstyArrivalsModulates(t *testing.T) {
+	const (
+		base   = 500.0
+		burst  = 20000.0
+		onFrac = 0.25
+	)
+	period := 50 * time.Millisecond
+	a := BurstyArrivals(20000, base, burst, onFrac, period, 11)
+	b := BurstyArrivals(20000, base, burst, onFrac, period, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs under the same seed", i)
+		}
+	}
+	// Replay the virtual clock and bin arrivals by phase.
+	on := time.Duration(onFrac * float64(period))
+	var tm time.Duration
+	var onCount, offCount int
+	for _, g := range a {
+		if tm%period < on {
+			onCount++
+		} else {
+			offCount++
+		}
+		tm += g
+	}
+	// The on-phase covers 25% of time at 40× the rate: the clear
+	// majority of arrivals must land there.
+	if onCount <= offCount {
+		t.Fatalf("on-phase arrivals %d <= off-phase %d; no burst detected", onCount, offCount)
+	}
+}
+
+// TestZipfSizes: bounds hold, the head dominates, and the draw is
+// seed-deterministic.
+func TestZipfSizes(t *testing.T) {
+	sizes := ZipfSizes(10000, 1, 64, 1.2, 3)
+	again := ZipfSizes(10000, 1, 64, 1.2, 3)
+	small := 0
+	for i, s := range sizes {
+		if s < 1 || s > 64 {
+			t.Fatalf("size %d out of [1, 64]", s)
+		}
+		if s != again[i] {
+			t.Fatalf("size %d differs under the same seed", i)
+		}
+		if s <= 8 {
+			small++
+		}
+	}
+	if small < len(sizes)/2 {
+		t.Fatalf("only %d/%d sizes <= 8; distribution not head-heavy", small, len(sizes))
+	}
+}
+
+// TestArrivalValidation: bad parameters panic rather than silently
+// generating garbage load.
+func TestArrivalValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"poisson-rate":   func() { PoissonArrivals(1, 0, 1) },
+		"bursty-onfrac":  func() { BurstyArrivals(1, 1, 2, 1.5, time.Second, 1) },
+		"bursty-period":  func() { BurstyArrivals(1, 1, 2, 0.5, 0, 1) },
+		"zipf-exponent":  func() { ZipfSizes(1, 1, 8, 1.0, 1) },
+		"zipf-min":       func() { ZipfSizes(1, 0, 8, 1.5, 1) },
+		"zipf-max-order": func() { ZipfSizes(1, 9, 8, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -385,32 +385,26 @@ func (c *CompiledNetwork) Sort(keys []Key) (*Result, error) {
 	return newResult(c.nw, clk, c.prog.Engine(), byNode), nil
 }
 
+// batchScratch recycles the node-indexed scratch slabs SortBatch
+// transposes items through, shared across all compiled networks (the
+// pool tolerates mixed sizes: undersized slabs are dropped and
+// regrown).
+var batchScratch = schedule.NewBatchBuffer()
+
 // SortBatch sorts many independent key sets (each in snake order, in
 // place) through the one compiled program with a pool of workers;
 // workers < 1 picks a sensible default. This is the throughput mode the
-// compile/execute split exists for: M sorts, one schedule.
+// compile/execute split exists for: M sorts, one schedule. The replay
+// transposes each item through a pooled scratch slab, so a steady
+// stream of batches allocates nothing per item.
 func (c *CompiledNetwork) SortBatch(batch [][]Key, workers int) error {
 	nodes := c.nw.Nodes()
-	byNode := make([][]Key, len(batch))
 	for i, keys := range batch {
 		if len(keys) != nodes {
 			return fmt.Errorf("productsort: batch[%d] has %d keys for %d nodes", i, len(keys), nodes)
 		}
-		bn := make([]Key, nodes)
-		for pos, k := range keys {
-			bn[c.nw.net.NodeAtSnake(pos)] = k
-		}
-		byNode[i] = bn
 	}
-	if err := schedule.RunBatch(c.prog, byNode, workers); err != nil {
-		return err
-	}
-	for i, keys := range batch {
-		for pos := range keys {
-			keys[pos] = byNode[i][c.nw.net.NodeAtSnake(pos)]
-		}
-	}
-	return nil
+	return schedule.RunBatchSnake(c.prog, batch, workers, batchScratch)
 }
 
 // PredictedRounds returns Theorem 1's round count for this network with
