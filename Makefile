@@ -20,9 +20,9 @@ GOVULNCHECK_VERSION ?= v1.1.4
 COVER_FLOOR ?= 80.0
 
 .PHONY: ci vet build test test-shuffle race fmtcheck fmt lint lint-tools cover \
-	bench-schedule chaos fuzz cert serve-soak bench-serve
+	bce bench-schedule chaos fuzz cert serve-soak bench-serve
 
-ci: vet build test race fmtcheck lint cover
+ci: vet build test race fmtcheck lint cover bce
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,21 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
+# Bounds-check-elimination gate: the columnar kernel's inner min/max
+# loop (internal/schedule/kernel.go) must compile with zero IsInBounds
+# checks — the per-element checks the BCE idiom (`hi = hi[:len(lo)]` +
+# `for s := range lo`) exists to remove. Per-comparator IsSliceInBounds
+# checks are amortized over the column width and allowed. The Go build
+# cache replays compiler diagnostics on cache hits, so the grep is
+# reliable without cache-busting.
+bce:
+	@out=$$($(GO) build -gcflags='productsort/internal/schedule=-d=ssa/check_bce' ./internal/schedule/ 2>&1); \
+	echo "$$out" | grep 'kernel.go' || true; \
+	if echo "$$out" | grep 'kernel\.go' | grep -q 'Found IsInBounds'; then \
+		echo "bce: kernel.go inner loop has per-element bounds checks"; exit 1; \
+	fi; \
+	echo "bce: kernel.go inner loop is bounds-check free"
+
 bench-schedule:
 	$(GO) run ./cmd/bench -schedule
 
@@ -94,7 +109,10 @@ chaos:
 # detected by the checksum scrub (or provably harmless), and fault
 # plans must be deterministic. Also fuzz the gray-code kernel the whole
 # snake order rests on: rank/unrank round-trips and the split-position
-# lemma for any radix/dimension. Bounded so it fits in CI.
+# lemma for any radix/dimension. The columnar equivalence target proves
+# RunBatchColumnar matches the scalar ExecBackend replay on arbitrary
+# batches (mixed sizes, all-sentinel items, size-1). Bounded so it fits
+# in CI.
 fuzz:
 	$(GO) test ./internal/faults/ -run=^$$ -fuzz=FuzzScrubDetectsCorruption -fuzztime=20s
 	$(GO) test ./internal/faults/ -run=^$$ -fuzz=FuzzFaultPlanDeterminism -fuzztime=10s
@@ -102,6 +120,7 @@ fuzz:
 	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzSnakeRankUnrank -fuzztime=10s
 	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzSplitPosLemma -fuzztime=10s
 	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzMixedRadixRoundTrip -fuzztime=10s
+	$(GO) test ./internal/schedule/ -run=^$$ -fuzz=FuzzColumnarEquivalence -fuzztime=10s
 
 # Certification gate: machine-check (0-1 principle, bitsliced) that the
 # compiled phase program of every built-in family/engine pair sorts —

@@ -49,7 +49,7 @@ func run() int {
 	serveMode := flag.Bool("serve", false, "drive the batching sort service with open-loop load and exit")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for -serve")
 	serveDur := flag.Duration("servedur", 2*time.Second, "measurement time per offered-load level for -serve")
-	serveLoads := flag.String("loads", "2000,5000,10000,15000", "comma-separated offered loads (requests/sec) for -serve")
+	serveLoads := flag.String("loads", "2000,5000,10000,15000,20000,30000", "comma-separated offered loads (requests/sec) for -serve")
 	serveSizes := flag.Int("servesizes", 64, "largest request size for -serve (Zipf sizes in 1..this)")
 	serveSeed := flag.Int64("serveseed", 1, "arrival/size seed for -serve")
 	certMode := flag.Bool("cert", false, "certify built-in family/engine programs with the bitsliced 0-1 engine and exit")

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"productsort"
+	"productsort/internal/graph"
+	"productsort/internal/product"
 	"productsort/internal/schedule"
 	"productsort/internal/workload"
 )
@@ -23,6 +25,15 @@ type scheduleEntry struct {
 	WarmPerSetNs int64 `json:"warmPerSetNs"`
 	// Speedup is ColdNs / WarmPerSetNs.
 	Speedup float64 `json:"speedup"`
+	// RowsPerSetNs and ColsPerSetNs are the single-worker rows-vs-
+	// columns head-to-head: the same full-size batch replayed through
+	// the row-at-a-time snake path (RunBatchSnake) and the columnar
+	// kernel (RunBatchColumnar), best of 3, per set.
+	RowsPerSetNs int64 `json:"rowsPerSetNs"`
+	ColsPerSetNs int64 `json:"colsPerSetNs"`
+	// ColSpeedup is RowsPerSetNs / ColsPerSetNs — the factor the
+	// struct-of-arrays transform buys on this topology.
+	ColSpeedup float64 `json:"colSpeedup"`
 }
 
 // scheduleReport is the BENCH_schedule.json document.
@@ -45,18 +56,31 @@ func runScheduleBench(path string, sets, workers int) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	nets := []*productsort.Network{}
-	for _, build := range []func() (*productsort.Network, error){
-		func() (*productsort.Network, error) { return productsort.Grid(8, 3) },
-		func() (*productsort.Network, error) { return productsort.Hypercube(9) },
-		func() (*productsort.Network, error) { return productsort.PetersenCube(2) },
-		func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) },
+	// Each topology pairs the root network (for the public-API cold/warm
+	// measurement) with its factor graph + dimension (so the kernel
+	// head-to-head can reach the internal compiled program directly).
+	type topo struct {
+		nw     *productsort.Network
+		factor *graph.Graph
+		r      int
+	}
+	nets := []topo{}
+	for _, build := range []struct {
+		root   func() (*productsort.Network, error)
+		factor func() *graph.Graph
+		r      int
+	}{
+		{func() (*productsort.Network, error) { return productsort.Grid(8, 2) }, func() *graph.Graph { return graph.Path(8) }, 2},
+		{func() (*productsort.Network, error) { return productsort.Grid(8, 3) }, func() *graph.Graph { return graph.Path(8) }, 3},
+		{func() (*productsort.Network, error) { return productsort.Hypercube(9) }, func() *graph.Graph { return graph.K2() }, 9},
+		{func() (*productsort.Network, error) { return productsort.PetersenCube(2) }, func() *graph.Graph { return graph.Petersen() }, 2},
+		{func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) }, func() *graph.Graph { return graph.CompleteBinaryTree(3) }, 2},
 	} {
-		nw, err := build()
+		nw, err := build.root()
 		if err != nil {
 			return err
 		}
-		nets = append(nets, nw)
+		nets = append(nets, topo{nw: nw, factor: build.factor(), r: build.r})
 	}
 	gen, err := workload.ByName("uniform")
 	if err != nil {
@@ -68,7 +92,8 @@ func runScheduleBench(path string, sets, workers int) error {
 		Sets:      sets,
 		Workers:   workers,
 	}
-	for _, nw := range nets {
+	for _, tp := range nets {
+		nw := tp.nw
 		// Cold: empty cache, compile + one sort. Best of 3 to shed
 		// scheduler noise.
 		var cold time.Duration
@@ -123,10 +148,19 @@ func runScheduleBench(path string, sets, workers int) error {
 		if perSet > 0 {
 			e.Speedup = float64(e.ColdNs) / float64(perSet)
 		}
+		rowsNs, colsNs, err := rowsVsColumns(tp.factor, tp.r, sets, gen)
+		if err != nil {
+			return err
+		}
+		e.RowsPerSetNs, e.ColsPerSetNs = rowsNs, colsNs
+		if e.ColsPerSetNs > 0 {
+			e.ColSpeedup = float64(e.RowsPerSetNs) / float64(e.ColsPerSetNs)
+		}
 		report.Entries = append(report.Entries, e)
-		fmt.Printf("%-22s nodes=%-5d cold=%-12v warm/set=%-12v speedup=%.1fx\n",
+		fmt.Printf("%-22s nodes=%-5d cold=%-12v warm/set=%-12v speedup=%-8.1fx rows/set=%-10v cols/set=%-10v cols-speedup=%.1fx\n",
 			nw.Name(), nw.Nodes(), cold.Round(time.Microsecond),
-			time.Duration(perSet).Round(time.Microsecond), e.Speedup)
+			time.Duration(perSet).Round(time.Microsecond), e.Speedup,
+			time.Duration(e.RowsPerSetNs), time.Duration(e.ColsPerSetNs), e.ColSpeedup)
 	}
 	report.Compiles = schedule.Stats().Compiles
 
@@ -135,4 +169,69 @@ func runScheduleBench(path string, sets, workers int) error {
 	}
 	fmt.Printf("wrote %s (%d sets, %d workers)\n", path, sets, workers)
 	return nil
+}
+
+// rowsVsColumns times the same full-size batch through the row-at-a-
+// time snake replay (RunBatchSnake) and the columnar kernel
+// (RunBatchColumnar), single worker so the numbers compare kernels and
+// not scheduling. Best of 3 runs each, per-set nanoseconds.
+func rowsVsColumns(factor *graph.Graph, r, sets int, gen workload.Gen) (rowsNs, colsNs int64, err error) {
+	net := product.MustNew(factor, r)
+	prog, err := schedule.Compile(net, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	nodes := net.Nodes()
+	pristine := make([][]productsort.Key, sets)
+	for i := range pristine {
+		pristine[i] = gen(nodes, int64(i)+200)
+	}
+	batch := make([][]productsort.Key, sets)
+	for i := range batch {
+		batch[i] = make([]productsort.Key, nodes)
+	}
+	reload := func() {
+		for i := range batch {
+			copy(batch[i], pristine[i])
+		}
+	}
+
+	rowBuf := schedule.NewBatchBuffer()
+	colBuf := schedule.NewColumnBuffer()
+	// Warm both pools so the timed runs see the steady-state path.
+	reload()
+	if err := schedule.RunBatchSnake(prog, batch, 1, rowBuf); err != nil {
+		return 0, 0, err
+	}
+	reload()
+	if err := schedule.RunBatchColumnar(prog, batch, 1, colBuf); err != nil {
+		return 0, 0, err
+	}
+
+	var rows, cols time.Duration
+	for rep := 0; rep < 3; rep++ {
+		reload()
+		start := time.Now()
+		if err := schedule.RunBatchSnake(prog, batch, 1, rowBuf); err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); rep == 0 || d < rows {
+			rows = d
+		}
+
+		reload()
+		start = time.Now()
+		if err := schedule.RunBatchColumnar(prog, batch, 1, colBuf); err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); rep == 0 || d < cols {
+			cols = d
+		}
+	}
+	for i, set := range batch {
+		if !productsort.IsSorted(set) {
+			return 0, 0, fmt.Errorf("rows-vs-columns: set %d not sorted after columnar replay", i)
+		}
+	}
+	return rows.Nanoseconds() / int64(sets), cols.Nanoseconds() / int64(sets), nil
 }

@@ -5,6 +5,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"productsort/internal/obs"
@@ -182,10 +183,11 @@ func (bb *BatchBuffer) put(s *[]simnet.Key) { bb.pool.Put(s) }
 // Items may be shorter than the network: their scratch image is padded
 // with Sentinel keys (never the caller's slice), so one program serves
 // every request size it covers — the agglomeration move the serving
-// layer is built on. workers < 1 selects len(batch) capped at 16; buf
-// (nil for a call-private one) recycles the node-indexed scratch across
-// calls, which makes the warm single-worker path allocation-free per
-// item (pinned by TestRunBatchSnakeZeroAlloc).
+// layer is built on. workers < 1 selects len(batch) capped at
+// GOMAXPROCS (the repo-wide fan-out convention); buf (nil for a
+// call-private one) recycles the node-indexed scratch across calls,
+// which makes the warm single-worker path allocation-free per item
+// (pinned by TestRunBatchSnakeZeroAlloc).
 func RunBatchSnake(prog *Program, batch [][]simnet.Key, workers int, buf *BatchBuffer) error {
 	nodes := prog.net.Nodes()
 	for i, keys := range batch {
@@ -201,8 +203,8 @@ func RunBatchSnake(prog *Program, batch [][]simnet.Key, workers int, buf *BatchB
 	}
 	if workers < 1 {
 		workers = len(batch)
-		if workers > 16 {
-			workers = 16
+		if mx := runtime.GOMAXPROCS(0); workers > mx {
+			workers = mx
 		}
 	}
 	if workers > len(batch) {
@@ -268,8 +270,8 @@ func snakeItem(prog *Program, perm []int, scratch []simnet.Key, keys []simnet.Ke
 // RunBatch sorts every key set of batch (each indexed by node id, in
 // place) through one compiled program with a pool of workers — the
 // many-sorts-one-topology throughput mode. workers < 1 selects
-// len(batch) capped at 16. Each worker replays sequentially; the
-// parallelism is across independent key sets, which is where batch
+// len(batch) capped at GOMAXPROCS. Each worker replays sequentially;
+// the parallelism is across independent key sets, which is where batch
 // throughput lives.
 func RunBatch(prog *Program, batch [][]simnet.Key, workers int) error {
 	for i, keys := range batch {
@@ -279,8 +281,8 @@ func RunBatch(prog *Program, batch [][]simnet.Key, workers int) error {
 	}
 	if workers < 1 {
 		workers = len(batch)
-		if workers > 16 {
-			workers = 16
+		if mx := runtime.GOMAXPROCS(0); workers > mx {
+			workers = mx
 		}
 	}
 	if workers > len(batch) {

@@ -1,0 +1,38 @@
+// The columnar compare-exchange kernel. This file is the subject of the
+// `make bce` gate: it is compiled with -d=ssa/check_bce and the build
+// fails if the compiler reports an IsInBounds check anywhere in it —
+// the inner loop below must stay free of per-element bounds checks.
+// (The per-comparator slicing above the loop is allowed to carry an
+// IsSliceInBounds check: it runs once per comparator, amortized over
+// the whole column width, not once per element.) Keep this file free of
+// anything but the kernel so the gate stays a precise statement about
+// the hot loop.
+
+package schedule
+
+import "productsort/internal/simnet"
+
+// applyComparators replays a lowered comparator stream over a column
+// slab laid out as width-consecutive keys per snake position (column
+// pos is slab[pos*width : (pos+1)*width]). Each comparator becomes one
+// tight min/max pass over its two columns — every instance in the
+// batch advances through the same comparator together, which is the
+// struct-of-arrays dual of the certification engine's 64-instances-
+// per-word replay. The loop body is branchless (min/max lower to
+// conditional moves on amd64/arm64), so randomly ordered keys cost no
+// branch mispredictions, unlike the row kernel's ~50%-taken swap.
+func applyComparators(slab []simnet.Key, comps []Comparator, width int) {
+	if width <= 0 {
+		return
+	}
+	for _, c := range comps {
+		lo := slab[int(c.Lo)*width : int(c.Lo)*width+width]
+		hi := slab[int(c.Hi)*width : int(c.Hi)*width+width]
+		hi = hi[:len(lo)]
+		for s := range lo {
+			a, b := lo[s], hi[s]
+			lo[s] = min(a, b)
+			hi[s] = max(a, b)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// amd64 dispatch for the columnar kernel: when the CPU and OS support
+// AVX2, the comparator stream runs through the assembly kernel in
+// kernel_amd64.s — four sets per vector lane group instead of one per
+// scalar iteration; otherwise (and on every other GOARCH) the portable
+// BCE-clean loop in kernel.go runs. Both paths compute the identical
+// result (pinned by TestKernelAVX2MatchesScalar), so everything proved
+// about the scalar replay — certification included — carries over.
+
+package schedule
+
+import "productsort/internal/simnet"
+
+// applyComparatorsAVX2 is implemented in kernel_amd64.s.
+//
+//go:noescape
+func applyComparatorsAVX2(slab *simnet.Key, comps *Comparator, n, width int)
+
+// cpuid and xgetbv0 are implemented in kernel_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// haveAVX2 is the one-time CPU/OS capability probe: AVX2 in hardware
+// and YMM state enabled by the OS (OSXSAVE + XCR0 bits 1|2).
+var haveAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the AVX2 kernel may run.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// runComparators dispatches one columnar replay to the fastest kernel
+// available. Widths below a vector group gain nothing from the call
+// into assembly, so they stay on the scalar loop.
+func runComparators(slab []simnet.Key, comps []Comparator, width int) {
+	if haveAVX2 && width >= 4 && len(comps) > 0 {
+		applyComparatorsAVX2(&slab[0], &comps[0], len(comps), width)
+		return
+	}
+	applyComparators(slab, comps, width)
+}

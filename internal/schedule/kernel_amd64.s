@@ -1,0 +1,88 @@
+// AVX2 columnar compare-exchange kernel and the CPUID plumbing that
+// gates it. See kernel_amd64.go for the dispatch and the layout
+// contract: column pos of a width-w slab is slab[pos*w : (pos+1)*w],
+// and comparators are (Lo, Hi) int32 column indices packed 8 bytes
+// apart. Four sets advance through one comparator per vector step:
+// VPCMPGTQ builds the lo>hi lane mask and two VPBLENDVBs route each
+// lane's min to the Lo column and max to the Hi column — branchless,
+// so randomly ordered keys cost no mispredictions. The scalar tail
+// finishes widths that are not multiples of four.
+
+#include "textflag.h"
+
+// func applyComparatorsAVX2(slab *simnet.Key, comps *Comparator, n, width int)
+TEXT ·applyComparatorsAVX2(SB), NOSPLIT, $0-32
+	MOVQ slab+0(FP), DI
+	MOVQ comps+8(FP), SI
+	MOVQ n+16(FP), DX
+	MOVQ width+24(FP), CX
+	TESTQ DX, DX
+	JLE done
+	TESTQ CX, CX
+	JLE done
+	MOVQ CX, R13
+	SUBQ $3, R13 // vector bound: lanes s..s+3 are in range while s < width-3
+
+comploop:
+	MOVLQSX 0(SI), R8 // c.Lo
+	MOVLQSX 4(SI), R9 // c.Hi
+	IMULQ CX, R8
+	IMULQ CX, R9
+	LEAQ (DI)(R8*8), R10 // &slab[Lo*width]
+	LEAQ (DI)(R9*8), R11 // &slab[Hi*width]
+	XORQ R12, R12        // s = 0
+
+vloop:
+	CMPQ R12, R13
+	JGE tail
+	VMOVDQU (R10)(R12*8), Y0 // lo[s:s+4]
+	VMOVDQU (R11)(R12*8), Y1 // hi[s:s+4]
+	VPCMPGTQ Y1, Y0, Y2      // mask: lo > hi (signed per lane)
+	VPBLENDVB Y2, Y1, Y0, Y3 // min lanes
+	VPBLENDVB Y2, Y0, Y1, Y4 // max lanes
+	VMOVDQU Y3, (R10)(R12*8)
+	VMOVDQU Y4, (R11)(R12*8)
+	ADDQ $4, R12
+	JMP vloop
+
+tail:
+	CMPQ R12, CX
+	JGE next
+	MOVQ (R10)(R12*8), AX
+	MOVQ (R11)(R12*8), BX
+	CMPQ BX, AX
+	JGE noswap
+	MOVQ BX, (R10)(R12*8)
+	MOVQ AX, (R11)(R12*8)
+
+noswap:
+	INCQ R12
+	JMP tail
+
+next:
+	ADDQ $8, SI
+	DECQ DX
+	JNZ comploop
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

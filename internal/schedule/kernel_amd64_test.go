@@ -1,0 +1,57 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"productsort/internal/simnet"
+)
+
+// TestKernelAVX2MatchesScalar pins the assembly kernel bit-for-bit
+// against the portable scalar loop across widths that exercise the
+// vector body alone, vector+tail mixes, and tail-only runs — with
+// negative keys, sentinels and duplicates in the mix, since VPCMPGTQ
+// must behave exactly like the signed > of the Go loop.
+func TestKernelAVX2MatchesScalar(t *testing.T) {
+	if !haveAVX2 {
+		t.Skip("no AVX2 on this host")
+	}
+	comps := []Comparator{{0, 1}, {2, 3}, {1, 2}, {0, 3}, {0, 1}, {2, 3}, {1, 2}}
+	const nodes = 4
+	x := uint64(99)
+	for _, width := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 64} {
+		ref := make([]simnet.Key, nodes*width)
+		for i := range ref {
+			x = x*2862933555777941757 + 3037000493
+			switch x % 5 {
+			case 0:
+				ref[i] = Sentinel
+			case 1:
+				ref[i] = simnet.Key(-(x % 1000))
+			case 2:
+				ref[i] = math.MinInt64
+			default:
+				ref[i] = simnet.Key(x % 1000)
+			}
+		}
+		got := append([]simnet.Key(nil), ref...)
+		applyComparators(ref, comps, width)
+		applyComparatorsAVX2(&got[0], &comps[0], len(comps), width)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("width %d: slab[%d] = %d, scalar %d", width, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDetectAVX2Consistent: the probe must agree with itself (it is
+// read once into a package variable; a flapping probe would mean the
+// CPUID plumbing clobbers state).
+func TestDetectAVX2Consistent(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if detectAVX2() != haveAVX2 {
+			t.Fatal("detectAVX2 flapped")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package schedule
+
+import "productsort/internal/simnet"
+
+// runComparators on non-amd64 ports is the portable BCE-clean scalar
+// loop; the columnar layout already buys the cache behaviour, and the
+// compiler's conditional-move lowering keeps the loop branchless.
+func runComparators(slab []simnet.Key, comps []Comparator, width int) {
+	applyComparators(slab, comps, width)
+}

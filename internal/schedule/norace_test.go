@@ -1,0 +1,5 @@
+//go:build !race
+
+package schedule
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package schedule
+
+// raceEnabled reports that this binary was built with the race
+// detector, under which sync.Pool randomly drops Puts — allocation
+// pins that rely on deterministic pool reuse must widen or skip.
+const raceEnabled = true

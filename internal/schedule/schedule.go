@@ -106,6 +106,17 @@ type Program struct {
 
 	permOnce sync.Once
 	perm     []int // snake position -> node id, built on first use
+
+	lowOnce sync.Once
+	lowered []Comparator // flat snake-space comparator stream, built on first use
+}
+
+// Comparator is one lowered compare-exchange in snake-position space:
+// after it runs, column Lo holds the minimum and column Hi the maximum.
+// Indices are int32 so the stream packs two comparators per cache line
+// quarter; every network the repo builds fits comfortably.
+type Comparator struct {
+	Lo, Hi int32
 }
 
 // Net returns the product network the program was compiled for. Cached
@@ -144,6 +155,44 @@ func (p *Program) SnakePerm() []int {
 		}
 	})
 	return p.perm
+}
+
+// LoweredComparators returns the program's phase ops pre-lowered into
+// one flat comparator stream in snake-position space: every exchange
+// op's (lo, hi) node-id pairs mapped through the inverse snake
+// permutation and concatenated in execution order. Idle rounds and
+// markers move no data, so they vanish; what remains is exactly the
+// instruction stream the columnar kernel replays with no per-op decode
+// and no interface dispatch. Built once per program and shared — read
+// only. Replaying the stream over snake-indexed storage is the same
+// permutation-conjugated computation as replaying the ops over
+// node-indexed storage (pinned by TestLoweredComparatorsEquivalence).
+func (p *Program) LoweredComparators() []Comparator {
+	p.lowOnce.Do(func() {
+		perm := p.SnakePerm()
+		inv := make([]int32, len(perm))
+		for pos, node := range perm {
+			inv[node] = int32(pos)
+		}
+		n := 0
+		for i := range p.ops {
+			switch p.ops[i].Kind {
+			case OpCompareExchange, OpRoutedExchange:
+				n += len(p.ops[i].Pairs)
+			}
+		}
+		comps := make([]Comparator, 0, n)
+		for i := range p.ops {
+			switch p.ops[i].Kind {
+			case OpCompareExchange, OpRoutedExchange:
+				for _, pr := range p.ops[i].Pairs {
+					comps = append(comps, Comparator{Lo: inv[pr[0]], Hi: inv[pr[1]]})
+				}
+			}
+		}
+		p.lowered = comps
+	})
+	return p.lowered
 }
 
 // Depth returns the number of round-consuming ops (exchange phases plus

@@ -23,11 +23,12 @@ type bucket struct {
 
 	queue       chan *request
 	outstanding atomic.Int64 // admitted minus replied; bounded by QueueDepth
-	buf         *schedule.BatchBuffer
+	cols        *schedule.ColumnBuffer
 
 	occupancy *obs.Gauge
 	latency   *obs.Histogram
 	batchSize *obs.Histogram
+	colWidth  *obs.Histogram
 	flushes   *obs.Counter
 	shed      *obs.Counter
 }
@@ -43,10 +44,11 @@ func newBucket(s *Server, plan *Plan, prog *schedule.Program) *bucket {
 		// outstanding <= QueueDepth bounds queue occupancy too, so the
 		// admission send below can never block.
 		queue:     make(chan *request, s.cfg.QueueDepth),
-		buf:       schedule.NewBatchBuffer(),
+		cols:      schedule.NewColumnBuffer(),
 		occupancy: s.met.Gauge(prefix + ".occupancy"),
 		latency:   s.met.Histogram(prefix+".latency_ns", obs.DurationBucketsNs),
 		batchSize: s.met.Histogram(prefix+".batchsize", BatchSizeBuckets),
+		colWidth:  s.met.Histogram(prefix+".colwidth", BatchSizeBuckets),
 		flushes:   s.met.Counter(prefix + ".flushes"),
 		shed:      s.met.Counter(prefix + ".shed"),
 	}
@@ -171,9 +173,13 @@ func (b *bucket) runFlush(batch []*request) {
 	for i, req := range live {
 		items[i] = req.keys
 	}
-	err := schedule.RunBatchSnake(b.prog, items, 1, b.buf)
+	// Columnar replay: the flush transposes into per-position columns
+	// (width = live batch size) and walks the program once for the whole
+	// batch; pooled slabs keep the warm path allocation-free per item.
+	err := schedule.RunBatchColumnar(b.prog, items, 1, b.cols)
 	b.flushes.Inc()
 	b.batchSize.Observe(int64(len(live)))
+	b.colWidth.Observe(int64(len(live)))
 	for _, req := range live {
 		if err != nil {
 			b.reply(req, Reply{Err: err, Network: b.plan.Name(), BatchSize: len(live)})

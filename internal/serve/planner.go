@@ -3,8 +3,10 @@
 // covering network (candidates ranked by Theorem 1's predicted round
 // count), a bounded LRU plan cache holds the compiled programs, and
 // size-bucketed dynamic batching accumulates admitted requests per plan
-// until MaxBatch or MaxLinger, then flushes them through
-// schedule.RunBatchSnake on a bounded worker pool. This is Schiller's
+// until MaxBatch or MaxLinger, then flushes them through the columnar
+// batch replay (schedule.RunBatchColumnar: one program walk per flush,
+// every set advancing through each comparator together) on a bounded
+// worker pool. This is Schiller's
 // agglomeration argument — merge many independent sorting-network
 // invocations into one larger network execution — applied to the
 // arrival-driven, multi-tenant setting: requests of heterogeneous sizes

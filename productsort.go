@@ -385,18 +385,20 @@ func (c *CompiledNetwork) Sort(keys []Key) (*Result, error) {
 	return newResult(c.nw, clk, c.prog.Engine(), byNode), nil
 }
 
-// batchScratch recycles the node-indexed scratch slabs SortBatch
-// transposes items through, shared across all compiled networks (the
-// pool tolerates mixed sizes: undersized slabs are dropped and
-// regrown).
-var batchScratch = schedule.NewBatchBuffer()
+// batchColumns recycles the column slabs SortBatch transposes batches
+// through, shared across all compiled networks (the pool tolerates
+// mixed shapes: undersized slabs are dropped and regrown).
+var batchColumns = schedule.NewColumnBuffer()
 
 // SortBatch sorts many independent key sets (each in snake order, in
-// place) through the one compiled program with a pool of workers;
-// workers < 1 picks a sensible default. This is the throughput mode the
-// compile/execute split exists for: M sorts, one schedule. The replay
-// transposes each item through a pooled scratch slab, so a steady
-// stream of batches allocates nothing per item.
+// place) through the one compiled program; workers < 1 picks a sensible
+// default. This is the throughput mode the compile/execute split exists
+// for: M sorts, one schedule. The replay is columnar: the batch is
+// transposed into one contiguous column per snake position and the
+// program is walked once for the whole batch, each compare-exchange a
+// branchless min/max sweep across all sets (SIMD-accelerated where the
+// host supports it); pooled slabs make a steady stream of batches
+// allocate nothing per item.
 func (c *CompiledNetwork) SortBatch(batch [][]Key, workers int) error {
 	nodes := c.nw.Nodes()
 	for i, keys := range batch {
@@ -404,7 +406,7 @@ func (c *CompiledNetwork) SortBatch(batch [][]Key, workers int) error {
 			return fmt.Errorf("productsort: batch[%d] has %d keys for %d nodes", i, len(keys), nodes)
 		}
 	}
-	return schedule.RunBatchSnake(c.prog, batch, workers, batchScratch)
+	return schedule.RunBatchColumnar(c.prog, batch, workers, batchColumns)
 }
 
 // PredictedRounds returns Theorem 1's round count for this network with
