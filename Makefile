@@ -100,10 +100,16 @@ bce:
 bench-schedule:
 	$(GO) run ./cmd/bench -schedule
 
-# Chaos smoke: resilient sorts under injected faults across topologies;
-# fails if any run ends unsorted or unrecoverable. Writes BENCH_chaos.json.
+# Chaos smoke: resilient sorts under injected faults across topologies,
+# plus the fault-rate x engine sweep (deterministic replay vs the
+# randomized engine per q variant); fails if any deterministic run ends
+# unsorted, any randomized run fails acceptance, or the sweep's top
+# rate no longer collapses the deterministic engine. Writes
+# BENCH_chaos.json. CHAOS_BASE offsets the fault seeds so CI matrix
+# legs explore distinct chaos.
+CHAOS_BASE ?= 0
 chaos:
-	$(GO) run ./cmd/bench -chaos -seeds 3
+	$(GO) run ./cmd/bench -chaos -seeds 3 -chaosbase $(CHAOS_BASE)
 
 # Fuzz the fault-plan scrub contract: injected key corruption must be
 # detected by the checksum scrub (or provably harmless), and fault

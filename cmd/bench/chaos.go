@@ -45,13 +45,20 @@ type chaosEntry struct {
 type chaosReport struct {
 	Generated string       `json:"generated"`
 	Seeds     int          `json:"seeds"`
+	SeedBase  int64        `json:"seedBase,omitempty"`
 	Entries   []chaosEntry `json:"entries"`
+	// SweepRates and Sweep carry the fault-rate x engine comparison
+	// (deterministic resilient replay vs randomized engine per q
+	// variant); see chaos_sweep.go.
+	SweepRates []float64    `json:"sweepRates"`
+	Sweep      []sweepEntry `json:"sweep"`
 }
 
 // runChaosBench drives resilient sorts across topologies, fault
-// scenarios and seeds, verifies every recovered output, and writes the
-// report to path.
-func runChaosBench(path string, seeds int) error {
+// scenarios and seeds plus the fault-rate x engine sweep, verifies
+// every recovered output, and writes the report to path. seedBase
+// offsets every fault seed so CI matrix legs explore distinct chaos.
+func runChaosBench(path string, seeds int, seedBase int64) error {
 	if seeds < 1 {
 		return fmt.Errorf("chaos bench: -seeds %d < 1", seeds)
 	}
@@ -82,8 +89,10 @@ func runChaosBench(path string, seeds int) error {
 	}
 
 	report := chaosReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Seeds:     seeds,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Seeds:      seeds,
+		SeedBase:   seedBase,
+		SweepRates: sweepRates,
 	}
 	table := stats.NewTable("Chaos: self-healing replay under injected faults",
 		"network", "scenario", "injected", "detected", "retried", "rerouted",
@@ -97,7 +106,7 @@ func runChaosBench(path string, seeds int) error {
 			agg := chaosEntry{}
 			for seed := 0; seed < seeds; seed++ {
 				cfg := sc.cfg
-				cfg.Seed = int64(seed + 1)
+				cfg.Seed = seedBase + int64(seed) + 1
 				keys := gen(nw.Nodes(), int64(seed)*31+7)
 				res, err := c.SortResilient(keys, cfg)
 				if err != nil {
@@ -140,9 +149,15 @@ func runChaosBench(path string, seeds int) error {
 	table.Note("%d seeds per cell; every run verified sorted; overhead = faulted/fault-free rounds, averaged", seeds)
 	table.Render(os.Stdout)
 
+	sweep, err := runChaosSweep(seeds, seedBase)
+	if err != nil {
+		return err
+	}
+	report.Sweep = sweep
+
 	if err := writeJSONArtifact(path, report); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	fmt.Printf("wrote %s (%d entries, %d sweep runs)\n", path, len(report.Entries), len(report.Sweep))
 	return nil
 }

@@ -46,6 +46,7 @@ func run() int {
 	chaosMode := flag.Bool("chaos", false, "run resilient sorts under injected faults across topologies and exit")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -chaos")
 	chaosSeeds := flag.Int("seeds", 5, "fault seeds per (topology, scenario) cell for -chaos")
+	chaosBase := flag.Int64("chaosbase", 0, "fault seed base offset for -chaos (CI matrix legs use distinct bases)")
 	serveMode := flag.Bool("serve", false, "drive the batching sort service with open-loop load and exit")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for -serve")
 	serveDur := flag.Duration("servedur", 2*time.Second, "measurement time per offered-load level for -serve")
@@ -113,7 +114,7 @@ func run() int {
 		}
 		return 0
 	case *chaosMode:
-		if err := runChaosBench(*chaosOut, *chaosSeeds); err != nil {
+		if err := runChaosBench(*chaosOut, *chaosSeeds, *chaosBase); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

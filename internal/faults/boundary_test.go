@@ -1,0 +1,91 @@
+// Boundary-rate coverage: every per-decision method must be an
+// all-or-nothing function at rates 0 and 1.0. The interior rates are
+// exercised statistically elsewhere; these pin the extremes, where an
+// off-by-one in the `roll < rate` comparison would silently bias every
+// chaos experiment.
+
+package faults
+
+import "testing"
+
+// boundaryCoords sweeps a small grid of decision coordinates so a
+// boundary failure cannot hide behind one lucky hash.
+const boundaryCoords = 8
+
+func TestDecisionsAtRateZero(t *testing.T) {
+	// Non-quiet plan (CorruptRate on a different axis than each probe)
+	// so the zero-rate paths run for real instead of short-circuiting
+	// behind Quiet().
+	p := NewPlan(Config{Seed: 99, DupRate: 0.5})
+	for a := 0; a < boundaryCoords; a++ {
+		for b := 0; b < boundaryCoords; b++ {
+			if p.PairDropped(a, b, a, b+1) {
+				t.Fatalf("PairDropped fired at rate 0 (%d,%d)", a, b)
+			}
+			if p.NodeStalled(a, b, a) {
+				t.Fatalf("NodeStalled fired at rate 0 (%d,%d)", a, b)
+			}
+			if p.NodeStalledRound(a, b, b) {
+				t.Fatalf("NodeStalledRound fired at rate 0 (%d,%d)", a, b)
+			}
+			if p.MessageDropped(a, b, a, b, 0) {
+				t.Fatalf("MessageDropped fired at rate 0 (%d,%d)", a, b)
+			}
+			if _, _, ok := p.Corruption(a, b, 16); ok {
+				t.Fatalf("Corruption fired at rate 0 (%d,%d)", a, b)
+			}
+		}
+	}
+	// DupRate 0 on a plan that is otherwise noisy.
+	q := NewPlan(Config{Seed: 99, DropRate: 1})
+	for a := 0; a < boundaryCoords; a++ {
+		if q.MessageDuplicated(a, 1, 0, 1, a) {
+			t.Fatalf("MessageDuplicated fired at rate 0 (%d)", a)
+		}
+	}
+}
+
+func TestDecisionsAtRateOne(t *testing.T) {
+	p := NewPlan(Config{Seed: 7, DropRate: 1, StallRate: 1, CorruptRate: 1, DupRate: 1})
+	for a := 0; a < boundaryCoords; a++ {
+		for b := 0; b < boundaryCoords; b++ {
+			if !p.PairDropped(a, b, a, b+1) {
+				t.Fatalf("PairDropped skipped at rate 1 (%d,%d)", a, b)
+			}
+			if !p.NodeStalled(a, b, a) {
+				t.Fatalf("NodeStalled skipped at rate 1 (%d,%d)", a, b)
+			}
+			if !p.NodeStalledRound(a, b, b) {
+				t.Fatalf("NodeStalledRound skipped at rate 1 (%d,%d)", a, b)
+			}
+			if !p.MessageDropped(a, b, a, b, 0) {
+				t.Fatalf("MessageDropped skipped at rate 1 (%d,%d)", a, b)
+			}
+			if !p.MessageDuplicated(a, b, a, b, 0) {
+				t.Fatalf("MessageDuplicated skipped at rate 1 (%d,%d)", a, b)
+			}
+			node, mask, ok := p.Corruption(a, b, 16)
+			if !ok {
+				t.Fatalf("Corruption skipped at rate 1 (%d,%d)", a, b)
+			}
+			if node < 0 || node >= 16 {
+				t.Fatalf("corruption node %d outside [0,16)", node)
+			}
+			if mask == 0 || mask < 0 {
+				t.Fatalf("corruption mask %#x not a positive single-bit flip", mask)
+			}
+			if mask&(mask-1) != 0 {
+				t.Fatalf("corruption mask %#x has more than one bit", mask)
+			}
+		}
+	}
+}
+
+// Corruption must refuse to fire against an empty node set even at
+// rate 1 — the guard, not the modulus, handles nodes == 0.
+func TestCorruptionNoNodes(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, CorruptRate: 1})
+	if _, _, ok := p.Corruption(0, 0, 0); ok {
+		t.Fatal("Corruption fired with zero nodes")
+	}
+}

@@ -87,6 +87,12 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // spread over the rest.
 var RoundBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 
+// ConvergenceBuckets is the default bucket layout for
+// rounds-to-converge counts of randomized engines: powers of four from
+// a handful of rounds up to the ~64k-round territory of heavily
+// degraded runs.
+var ConvergenceBuckets = []int64{4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536}
+
 // DurationBucketsNs is the default bucket layout for wall-clock phase
 // durations, in nanoseconds (1µs .. ~1s, powers of four).
 var DurationBucketsNs = []int64{

@@ -1,0 +1,166 @@
+// Candidate pair pools and the q distributions over them.
+//
+// The randomized engine draws compare-exchange pairs from a fixed
+// distribution q whose support is the product network's edge set plus
+// every snake-consecutive pair. The snake pairs matter for
+// correctness, not just speed: a state in which every supported pair
+// is locally ordered must be globally sorted, and only the
+// snake-consecutive pairs guarantee that implication (on a
+// Hamiltonian-labeled factor they are network edges anyway; on a
+// non-Hamiltonian factor, e.g. mesh-connected trees, they become
+// routed exchanges exactly as in the deterministic schedule).
+
+package randsort
+
+import (
+	"fmt"
+
+	"productsort/internal/faults"
+	"productsort/internal/product"
+)
+
+// Variant selects the distribution q over the candidate pair pool.
+type Variant uint8
+
+const (
+	// QUniform draws uniformly over the pool.
+	QUniform Variant = iota
+	// QDimWeighted equalizes the total draw mass per product dimension
+	// (each candidate weighs 1/|pool ∩ dim|), so high-degree dimensions
+	// do not starve low-degree ones.
+	QDimWeighted
+	// QSnakeBiased up-weights snake-consecutive pairs by snakeBias,
+	// biasing the process toward odd-even-transposition moves along the
+	// global order while keeping every edge in support.
+	QSnakeBiased
+)
+
+// snakeBias is QSnakeBiased's weight multiplier on snake-consecutive
+// pairs.
+const snakeBias = 4.0
+
+// String names the variant (also the engine-name suffix).
+func (v Variant) String() string {
+	switch v {
+	case QUniform:
+		return "uniform"
+	case QDimWeighted:
+		return "dim-weighted"
+	case QSnakeBiased:
+		return "snake-biased"
+	}
+	return fmt.Sprintf("variant(%d)", uint8(v))
+}
+
+// Variants lists every defined q variant.
+func Variants() []Variant { return []Variant{QUniform, QDimWeighted, QSnakeBiased} }
+
+// VariantByName resolves a variant from its String form; "" selects
+// QUniform.
+func VariantByName(name string) (Variant, error) {
+	switch name {
+	case "", "uniform":
+		return QUniform, nil
+	case "dim-weighted":
+		return QDimWeighted, nil
+	case "snake-biased":
+		return QSnakeBiased, nil
+	}
+	return 0, &ConfigError{Field: "Q", Reason: fmt.Sprintf("unknown variant %q", name)}
+}
+
+// candidate is one supported pair: node ids oriented so lo holds the
+// smaller snake position (after a compare-exchange the minimum sits at
+// lo, i.e. earlier in the global order).
+type candidate struct {
+	lo, hi int
+	dim    int  // 1-based dimension the endpoints differ in
+	snake  bool // consecutive snake positions
+}
+
+// buildPool assembles the candidate pool: every product-network edge
+// plus every snake-consecutive pair, deduplicated, in deterministic
+// order. Edges whose factor link the plan killed are removed (their
+// exchange is physically impossible); snake-consecutive pairs always
+// stay — with the direct link dead they are simply priced as routed
+// detours on the surviving network, the same graceful degradation the
+// deterministic replay applies.
+func buildPool(net *product.Network, plan *faults.Plan) []candidate {
+	n := net.Nodes()
+	seen := make(map[[2]int]int, 3*n) // normalized pair -> pool index
+	var pool []candidate
+	add := func(a, b int, snake bool) {
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if i, ok := seen[key]; ok {
+			if snake {
+				pool[i].snake = true
+			}
+			return
+		}
+		lo, hi := a, b
+		if net.SnakePos(lo) > net.SnakePos(hi) {
+			lo, hi = hi, lo
+		}
+		dim := differingDim(net, a, b)
+		if !snake && plan != nil {
+			if plan.LinkDead(dim, net.Digit(a, dim), net.Digit(b, dim)) {
+				return
+			}
+		}
+		seen[key] = len(pool)
+		pool = append(pool, candidate{lo: lo, hi: hi, dim: dim, snake: snake})
+	}
+	for a := 0; a < n; a++ {
+		for _, b := range net.Neighbors(a) {
+			if b > a {
+				add(a, b, false)
+			}
+		}
+	}
+	for pos := 0; pos+1 < n; pos++ {
+		add(net.NodeAtSnake(pos), net.NodeAtSnake(pos+1), true)
+	}
+	return pool
+}
+
+// differingDim returns the 1-based dimension a and b differ in. Every
+// pool candidate differs in exactly one dimension: network edges by
+// the product construction, snake-consecutive pairs by the Gray-code
+// property of the snake order.
+func differingDim(net *product.Network, a, b int) int {
+	for k := 1; k <= net.R(); k++ {
+		if net.Digit(a, k) != net.Digit(b, k) {
+			return k
+		}
+	}
+	panic("randsort: identical endpoints in candidate pair")
+}
+
+// weights assigns each candidate its (unnormalized) q mass under the
+// variant and returns the cumulative sums the sampler binary-searches.
+func weights(v Variant, pool []candidate, dims int) (cum []float64, total float64) {
+	perDim := make([]int, dims+1)
+	if v == QDimWeighted {
+		for _, c := range pool {
+			perDim[c.dim]++
+		}
+	}
+	cum = make([]float64, len(pool))
+	for i, c := range pool {
+		w := 1.0
+		switch v {
+		case QDimWeighted:
+			w = 1.0 / float64(perDim[c.dim])
+		case QSnakeBiased:
+			if c.snake {
+				w = snakeBias
+			}
+		}
+		total += w
+		cum[i] = total
+	}
+	return cum, total
+}

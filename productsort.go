@@ -188,8 +188,11 @@ type Result struct {
 	// Engine is the S_2 engine used.
 	Engine string
 	// Faults carries the fault-injection and recovery accounting of a
-	// SortResilient run; nil for fault-free sorts.
+	// SortResilient or SortRandomized run; nil for fault-free sorts.
 	Faults *FaultReport
+	// Random carries the convergence accounting of a SortRandomized
+	// run; nil for deterministic sorts.
+	Random *RandomizedReport
 }
 
 // Sorter configures the algorithm.

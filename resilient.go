@@ -61,6 +61,86 @@ type FaultConfig struct {
 	MaxRepairPasses int
 }
 
+// FaultConfigError reports one invalid FaultConfig field, named so a
+// caller (or its operator) can see exactly which knob is wrong instead
+// of decoding a mid-replay panic.
+type FaultConfigError struct {
+	// Field is the offending FaultConfig field, e.g. "DropRate" or
+	// "DeadLinks[2].Dim".
+	Field string
+	// Reason describes the violation.
+	Reason string
+}
+
+// Error implements error.
+func (e *FaultConfigError) Error() string {
+	return fmt.Sprintf("productsort: fault config %s: %s", e.Field, e.Reason)
+}
+
+// validate checks cfg up front against a network with dims dimensions.
+// Rates must be probabilities in [0, 1] (NaN included in the
+// rejection); count fields must not be negative (zero keeps the
+// documented default, preserving the zero-value = fault-free
+// contract); forced dead links must name a real dimension.
+func (cfg FaultConfig) validate(dims int) error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", cfg.DropRate},
+		{"StallRate", cfg.StallRate},
+		{"CorruptRate", cfg.CorruptRate},
+		{"LinkFailRate", cfg.LinkFailRate},
+	}
+	for _, r := range rates {
+		if !(r.v >= 0 && r.v <= 1) { // negated to catch NaN
+			return &FaultConfigError{Field: r.name, Reason: fmt.Sprintf("rate %v outside [0, 1]", r.v)}
+		}
+	}
+	counts := []struct {
+		name string
+		v    int
+	}{
+		{"MaxDeadLinks", cfg.MaxDeadLinks},
+		{"CheckpointEvery", cfg.CheckpointEvery},
+		{"MaxRetries", cfg.MaxRetries},
+		{"MaxRepairPasses", cfg.MaxRepairPasses},
+	}
+	for _, c := range counts {
+		if c.v < 0 {
+			return &FaultConfigError{Field: c.name, Reason: fmt.Sprintf("negative value %d (0 selects the default)", c.v)}
+		}
+	}
+	for i, dl := range cfg.DeadLinks {
+		if dl.Dim < 1 || dl.Dim > dims {
+			return &FaultConfigError{
+				Field:  fmt.Sprintf("DeadLinks[%d].Dim", i),
+				Reason: fmt.Sprintf("dimension %d outside [1, %d]", dl.Dim, dims),
+			}
+		}
+	}
+	return nil
+}
+
+// plan validates cfg and builds its fault plan.
+func (cfg FaultConfig) plan(dims int) (*faults.Plan, error) {
+	if err := cfg.validate(dims); err != nil {
+		return nil, err
+	}
+	fc := faults.Config{
+		Seed:         cfg.Seed,
+		DropRate:     cfg.DropRate,
+		StallRate:    cfg.StallRate,
+		CorruptRate:  cfg.CorruptRate,
+		LinkFailRate: cfg.LinkFailRate,
+		MaxDeadLinks: cfg.MaxDeadLinks,
+	}
+	for _, dl := range cfg.DeadLinks {
+		fc.DeadLinks = append(fc.DeadLinks, faults.FactorEdge{Dim: dl.Dim, U: dl.U, V: dl.V})
+	}
+	return faults.NewPlan(fc), nil
+}
+
 // FaultReport surfaces what was injected and what recovery did (and
 // cost) during one resilient sort.
 type FaultReport struct {
@@ -100,21 +180,9 @@ func (c *CompiledNetwork) SortResilient(keys []Key, cfg FaultConfig) (*Result, e
 	if len(keys) != c.nw.Nodes() {
 		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), c.nw.Nodes())
 	}
-	fc := faults.Config{
-		Seed:         cfg.Seed,
-		DropRate:     cfg.DropRate,
-		StallRate:    cfg.StallRate,
-		CorruptRate:  cfg.CorruptRate,
-		LinkFailRate: cfg.LinkFailRate,
-		MaxDeadLinks: cfg.MaxDeadLinks,
-	}
-	for _, dl := range cfg.DeadLinks {
-		fc.DeadLinks = append(fc.DeadLinks, faults.FactorEdge{Dim: dl.Dim, U: dl.U, V: dl.V})
-	}
-	for _, rate := range []float64{fc.DropRate, fc.StallRate, fc.CorruptRate, fc.LinkFailRate} {
-		if rate < 0 || rate > 1 {
-			return nil, fmt.Errorf("productsort: fault rate %v outside [0, 1]", rate)
-		}
+	plan, err := cfg.plan(c.nw.Dims())
+	if err != nil {
+		return nil, err
 	}
 	byNode := make([]Key, len(keys))
 	for pos, k := range keys {
@@ -122,7 +190,7 @@ func (c *CompiledNetwork) SortResilient(keys []Key, cfg FaultConfig) (*Result, e
 	}
 	rb := schedule.ResilientBackend{
 		Inner:           schedule.ExecBackend{Exec: c.exec, Tracer: c.tracer},
-		Plan:            faults.NewPlan(fc),
+		Plan:            plan,
 		CheckpointEvery: cfg.CheckpointEvery,
 		MaxRetries:      cfg.MaxRetries,
 		MaxRepairPasses: cfg.MaxRepairPasses,

@@ -1,8 +1,11 @@
 package productsort
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -127,7 +130,7 @@ func TestSortResilientDeadLink(t *testing.T) {
 	}
 }
 
-func TestSortResilientRejectsBadRates(t *testing.T) {
+func TestSortResilientRejectsInvalidConfig(t *testing.T) {
 	nw, err := Hypercube(3)
 	if err != nil {
 		t.Fatal(err)
@@ -136,10 +139,49 @@ func TestSortResilientRejectsBadRates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.SortResilient(shuffled(nw.Nodes(), 1), FaultConfig{DropRate: 1.5}); err == nil {
-		t.Error("rate above 1 accepted")
+	cases := []struct {
+		name  string
+		cfg   FaultConfig
+		field string
+	}{
+		{"DropRate above 1", FaultConfig{DropRate: 1.5}, "DropRate"},
+		{"negative DropRate", FaultConfig{DropRate: -0.2}, "DropRate"},
+		{"negative StallRate", FaultConfig{StallRate: -0.01}, "StallRate"},
+		{"StallRate above 1", FaultConfig{StallRate: 2}, "StallRate"},
+		{"negative CorruptRate", FaultConfig{CorruptRate: -0.1}, "CorruptRate"},
+		{"CorruptRate NaN", FaultConfig{CorruptRate: math.NaN()}, "CorruptRate"},
+		{"LinkFailRate above 1", FaultConfig{LinkFailRate: 1.01}, "LinkFailRate"},
+		{"negative MaxDeadLinks", FaultConfig{MaxDeadLinks: -1}, "MaxDeadLinks"},
+		{"negative CheckpointEvery", FaultConfig{CheckpointEvery: -4}, "CheckpointEvery"},
+		{"negative MaxRetries", FaultConfig{MaxRetries: -1}, "MaxRetries"},
+		{"negative MaxRepairPasses", FaultConfig{MaxRepairPasses: -2}, "MaxRepairPasses"},
+		{"dead link dim zero", FaultConfig{DeadLinks: []DeadLink{{Dim: 0, U: 0, V: 1}}}, "DeadLinks[0].Dim"},
+		{"dead link dim too large", FaultConfig{
+			DeadLinks: []DeadLink{{Dim: 1, U: 0, V: 1}, {Dim: 4, U: 0, V: 1}},
+		}, "DeadLinks[1].Dim"},
 	}
-	if _, err := c.SortResilient(shuffled(nw.Nodes(), 1), FaultConfig{CorruptRate: -0.1}); err == nil {
-		t.Error("negative rate accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.SortResilient(shuffled(nw.Nodes(), 1), tc.cfg)
+			var fce *FaultConfigError
+			if !errors.As(err, &fce) {
+				t.Fatalf("want *FaultConfigError, got %v", err)
+			}
+			if fce.Field != tc.field {
+				t.Fatalf("want field %q, got %q (%v)", tc.field, fce.Field, err)
+			}
+			if msg := fce.Error(); !strings.Contains(msg, tc.field) {
+				t.Fatalf("error message %q omits the field", msg)
+			}
+			// SortRandomized shares the validation.
+			_, err = c.SortRandomized(shuffled(nw.Nodes(), 1), RandomizedConfig{Faults: tc.cfg})
+			if !errors.As(err, &fce) || fce.Field != tc.field {
+				t.Fatalf("SortRandomized: want *FaultConfigError{%s}, got %v", tc.field, err)
+			}
+		})
+	}
+	// Zero config stays valid: the zero-value = fault-free contract.
+	if err := (FaultConfig{}).validate(nw.Dims()); err != nil {
+		t.Fatalf("zero FaultConfig rejected: %v", err)
 	}
 }
