@@ -9,6 +9,7 @@
 //	bench -trace t.json    # trace one sort, write a Chrome trace
 //	bench -schedule        # cold-vs-warm schedule benchmark
 //	bench -chaos           # resilient sorts under injected faults
+//	bench -contend         # plan-store contention sweep across GOMAXPROCS
 //	bench -cert            # bitsliced 0-1 certification of compiled programs
 //
 // Profiling flags (-cpuprofile, -memprofile) apply to every mode, so a
@@ -53,6 +54,11 @@ func run() int {
 	serveLoads := flag.String("loads", "2000,5000,10000,15000,20000,30000", "comma-separated offered loads (requests/sec) for -serve")
 	serveSizes := flag.Int("servesizes", 64, "largest request size for -serve (Zipf sizes in 1..this)")
 	serveSeed := flag.Int64("serveseed", 1, "arrival/size seed for -serve")
+	contendMode := flag.Bool("contend", false, "sweep plan-store contention across GOMAXPROCS (old vs new store) and exit")
+	contendOut := flag.String("contendout", "BENCH_contend.json", "output path for -contend")
+	contendDur := flag.Duration("contenddur", 400*time.Millisecond, "measurement time per (store, procs) cell for -contend")
+	contendProcs := flag.String("contendprocs", "1,4,0", "comma-separated GOMAXPROCS values for -contend (0 = all CPUs)")
+	contendMinGain := flag.Float64("mingain", 0, "fail -contend unless the lock-free store's max-proc throughput is >= this multiple of its single-proc throughput (0 disables; auto-skips when the host has fewer CPUs than the sweep)")
 	certMode := flag.Bool("cert", false, "certify built-in family/engine programs with the bitsliced 0-1 engine and exit")
 	certOut := flag.String("certout", "BENCH_cert.json", "output path for -cert")
 	certMax := flag.Int("certmax", 20, "largest key count certified exhaustively for -cert")
@@ -121,6 +127,12 @@ func run() int {
 		return 0
 	case *serveMode:
 		if err := runServeBench(*serveOut, *serveLoads, *serveDur, *serveSizes, *serveSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *contendMode:
+		if err := runContendBench(*contendOut, *contendProcs, *contendDur, *contendMinGain); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -129,6 +129,12 @@ const minColumnarTile = 8
 // share cache lines). buf (nil for a call-private one) recycles slabs
 // across calls; the warm single-worker path allocates nothing per item.
 func RunBatchColumnar(prog *Program, batch [][]simnet.Key, workers int, buf *ColumnBuffer) error {
+	if prog.Freed() {
+		// A freed program's lowered stream is gone; replaying it would
+		// silently leave every set unsorted. Fail loudly instead — this
+		// is the backstop behind the serving store's epoch grace period.
+		return ErrProgramFreed
+	}
 	nodes := prog.net.Nodes()
 	for i, keys := range batch {
 		if len(keys) == 0 || len(keys) > nodes {

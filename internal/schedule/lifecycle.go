@@ -1,0 +1,88 @@
+// Program lifecycle: retire and free hooks for bounded caches.
+//
+// The process-wide compile cache pins its programs for the life of the
+// process, so it never needs a lifecycle. Bounded caches — the serving
+// layer's epoch-managed plan store — do: evicting an entry must
+// eventually release the program's lowered comparator stream and
+// permutation tables, but only once every concurrent reader has moved
+// past it. The store expresses that protocol through two one-way
+// transitions recorded here:
+//
+//	live --Retire()--> retired --Free()--> freed
+//
+// Retire withdraws the program from service (the owner has unlinked it
+// from every lookup structure; in-flight replays may still hold it).
+// Free, called by the owner after a grace period proves no reader can
+// still hold the program, releases the derived tables and runs the free
+// hook exactly once. Replaying a freed program is a caller bug; the
+// batch replay entry points reject it with ErrProgramFreed instead of
+// silently sorting nothing.
+
+package schedule
+
+import "errors"
+
+// ErrProgramFreed rejects replay of a program whose owner has already
+// freed it (see Program.Free). Observing this error means the caller
+// kept a program past its cache's grace period — a lifecycle bug, not
+// a data error.
+var ErrProgramFreed = errors.New("schedule: program has been freed")
+
+// Program lifecycle states, held in Program.state.
+const (
+	progLive uint32 = iota
+	progRetired
+	progFreed
+)
+
+// Retire marks the program as withdrawn from service and reports
+// whether this call performed the transition (false if it was already
+// retired or freed). The caller must have unlinked the program from
+// every lookup structure first: Retire is the fence between "new
+// readers can find it" and "only in-flight readers hold it".
+func (p *Program) Retire() bool {
+	return p.state.CompareAndSwap(progLive, progRetired)
+}
+
+// Retired reports whether the program has been retired (or freed).
+func (p *Program) Retired() bool { return p.state.Load() >= progRetired }
+
+// Free releases the program's derived tables and runs the free hook,
+// exactly once; it reports whether this call performed the transition.
+// The caller must guarantee no reader still holds the program — the
+// serving store's epoch domain waits out a grace period before calling
+// it. After Free, replay entry points fail with ErrProgramFreed.
+func (p *Program) Free() bool {
+	for {
+		s := p.state.Load()
+		if s == progFreed {
+			return false
+		}
+		if p.state.CompareAndSwap(s, progFreed) {
+			if fn := p.freeHook.Load(); fn != nil {
+				(*fn)()
+			}
+			// Release the memory a cached program actually costs: the
+			// lowered comparator stream, the snake permutation, and the
+			// op stream. No reader exists by contract, so plain writes.
+			p.lowered = nil
+			p.perm = nil
+			p.ops = nil
+			return true
+		}
+	}
+}
+
+// Freed reports whether the program has been freed.
+func (p *Program) Freed() bool { return p.state.Load() == progFreed }
+
+// SetFreeHook registers fn to run inside the (single) successful Free
+// transition — a test seam for pinning free-exactly-once, and a place
+// for owners to count reclamations. Pass nil to clear.
+func (p *Program) SetFreeHook(fn func()) {
+	if fn == nil {
+		p.freeHook.Store(nil)
+		return
+	}
+	p.freeHook.Store(&fn)
+}

@@ -1,0 +1,124 @@
+package schedule
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"productsort/internal/graph"
+	"productsort/internal/product"
+	"productsort/internal/simnet"
+	"productsort/internal/sort2d"
+)
+
+func compileLifecycle(t *testing.T) *Program {
+	t.Helper()
+	prog, err := CompileUncached(product.MustNew(graph.K2(), 2), sort2d.Auto{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestProgramLifecycleTransitions: live -> retired -> freed is one-way
+// and each transition reports success exactly once.
+func TestProgramLifecycleTransitions(t *testing.T) {
+	p := compileLifecycle(t)
+	if p.Retired() || p.Freed() {
+		t.Fatal("fresh program not live")
+	}
+	if !p.Retire() {
+		t.Fatal("first Retire failed")
+	}
+	if p.Retire() {
+		t.Fatal("second Retire succeeded")
+	}
+	if !p.Retired() || p.Freed() {
+		t.Fatal("retired program misreports state")
+	}
+	if !p.Free() {
+		t.Fatal("first Free failed")
+	}
+	if p.Free() {
+		t.Fatal("second Free succeeded")
+	}
+	if !p.Retired() || !p.Freed() {
+		t.Fatal("freed program misreports state")
+	}
+}
+
+// TestProgramFreeSkipsRetire: Free straight from live works (owner
+// collapse of the two steps) and still runs exactly once.
+func TestProgramFreeSkipsRetire(t *testing.T) {
+	p := compileLifecycle(t)
+	if !p.Free() {
+		t.Fatal("Free from live failed")
+	}
+	if p.Retire() {
+		t.Fatal("Retire after Free succeeded")
+	}
+}
+
+// TestProgramFreeHookExactlyOnce: the hook runs inside the single
+// successful Free, even under concurrent Free attempts.
+func TestProgramFreeHookExactlyOnce(t *testing.T) {
+	p := compileLifecycle(t)
+	var runs atomic.Int64
+	p.SetFreeHook(func() { runs.Add(1) })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Free()
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("free hook ran %d times, want 1", got)
+	}
+}
+
+// TestProgramFreeReleasesTables: Free drops the derived tables — the
+// memory a resident program actually costs.
+func TestProgramFreeReleasesTables(t *testing.T) {
+	p := compileLifecycle(t)
+	if len(p.LoweredComparators()) == 0 || len(p.SnakePerm()) == 0 || len(p.Ops()) == 0 {
+		t.Fatal("compiled program missing derived tables")
+	}
+	p.Free()
+	if p.lowered != nil || p.perm != nil || p.ops != nil {
+		t.Fatal("Free left derived tables resident")
+	}
+}
+
+// TestRunBatchColumnarRejectsFreed: replaying a freed program fails
+// loudly with ErrProgramFreed instead of silently not sorting.
+func TestRunBatchColumnarRejectsFreed(t *testing.T) {
+	p := compileLifecycle(t)
+	batch := [][]simnet.Key{{3, 1, 2}}
+	if err := RunBatchColumnar(p, batch, 1, nil); err != nil {
+		t.Fatalf("live replay: %v", err)
+	}
+	p.Free()
+	if err := RunBatchColumnar(p, batch, 1, nil); !errors.Is(err, ErrProgramFreed) {
+		t.Fatalf("freed replay error = %v, want ErrProgramFreed", err)
+	}
+}
+
+// TestRunBatchColumnarAllowsRetired: a retired (but not freed) program
+// still replays — in-flight readers ride out the grace period.
+func TestRunBatchColumnarAllowsRetired(t *testing.T) {
+	p := compileLifecycle(t)
+	p.Retire()
+	batch := [][]simnet.Key{{4, 2, 3, 1}}
+	if err := RunBatchColumnar(p, batch, 1, nil); err != nil {
+		t.Fatalf("retired replay: %v", err)
+	}
+	for i := 1; i < len(batch[0]); i++ {
+		if batch[0][i-1] > batch[0][i] {
+			t.Fatal("retired replay produced unsorted output")
+		}
+	}
+}

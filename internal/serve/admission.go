@@ -1,0 +1,119 @@
+// Sharded admission: per-CPU outstanding counters, folded on demand.
+//
+// Each size bucket bounds its admitted-but-unreplied requests at
+// QueueDepth. With one atomic counter, every Submit and every reply on
+// a hot bucket hammers the same cache line from every P — the same
+// plateau the plan store's lock removal targets. The limiter splits
+// the budget into hard slices: one cache-line-padded shard per P
+// (floor(total/shards) slots each) plus a reserve shard holding the
+// remainder. The fast path is a single bounded atomic add against the
+// shard the current P has affinity with; only when that slice is full
+// does the acquirer scan the other shards (and last the reserve) for
+// headroom.
+//
+// The bound is exact by construction: every shard's count is kept at
+// or below its own cap by the add-then-undo protocol (a racing pair
+// contending for a shard's last slot both add, at most one lands at or
+// under the cap, the other undoes), and the caps sum to total. No fold
+// is consulted for admission — folding is on demand, for occupancy
+// reporting and the drain's all-released check. The only softness is
+// in the other direction: a scanner can transiently observe a shard
+// one over its cap (a concurrent undo in flight) and shed while a slot
+// is technically free — shedding at saturation, never over-admitting.
+//
+// Releases return the token to the shard that was charged (the token
+// is the shard pointer), so every count stays non-negative and the
+// fold is exactly the outstanding total.
+
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limiterShard is one padded slice of the outstanding count.
+type limiterShard struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+// shardedLimiter bounds a count at total across padded shards.
+type shardedLimiter struct {
+	shards     []limiterShard // hard cap perShard each
+	reserve    limiterShard   // hard cap reserveCap
+	perShard   int64          // floor(total/len(shards))
+	reserveCap int64          // total - perShard*len(shards)
+	next       atomic.Uint32
+	handles    sync.Pool // *limiterShard: per-P shard affinity
+}
+
+// newShardedLimiter builds a limiter admitting at most total
+// concurrent holders. shards of 0 self-sizes to GOMAXPROCS (power of
+// two); tests pin it for determinism.
+func newShardedLimiter(total, shards int) *shardedLimiter {
+	if total < 1 {
+		total = 1
+	}
+	if shards < 1 {
+		shards = nextPow2(max(1, runtime.GOMAXPROCS(0)))
+	} else {
+		shards = nextPow2(shards)
+	}
+	l := &shardedLimiter{
+		shards:   make([]limiterShard, shards),
+		perShard: int64(total / shards),
+	}
+	l.reserveCap = int64(total) - l.perShard*int64(shards)
+	n := uint32(shards)
+	l.handles.New = func() any {
+		return &l.shards[l.next.Add(1)%n]
+	}
+	return l
+}
+
+// acquire claims one slot. On success it returns the charged shard —
+// the token release must be called with. On failure (limiter full) it
+// returns nil and no state changes.
+func (l *shardedLimiter) acquire() *limiterShard {
+	sh := l.handles.Get().(*limiterShard)
+	l.handles.Put(sh)
+	if sh.n.Add(1) <= l.perShard {
+		return sh
+	}
+	sh.n.Add(-1)
+	return l.acquireSlow()
+}
+
+// acquireSlow is the saturation path: the local slice is full, so scan
+// every shard for headroom, ending with the reserve. Each probe is the
+// same bounded add-then-undo as the fast path, so the per-shard caps —
+// and with them the total — hold under any interleaving.
+func (l *shardedLimiter) acquireSlow() *limiterShard {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		if sh.n.Add(1) <= l.perShard {
+			return sh
+		}
+		sh.n.Add(-1)
+	}
+	if l.reserve.n.Add(1) <= l.reserveCap {
+		return &l.reserve
+	}
+	l.reserve.n.Add(-1)
+	return nil
+}
+
+// release returns a slot to the shard acquire charged.
+func (l *shardedLimiter) release(sh *limiterShard) { sh.n.Add(-1) }
+
+// fold sums every shard: the exact outstanding count at some moment
+// between the first and last shard load.
+func (l *shardedLimiter) fold() int64 {
+	sum := l.reserve.n.Load()
+	for i := range l.shards {
+		sum += l.shards[i].n.Load()
+	}
+	return sum
+}

@@ -1,9 +1,14 @@
 // Buckets: per-plan dynamic batching with bounded occupancy.
+//
+// Occupancy is bounded by a sharded limiter (admission.go) instead of
+// one hot atomic, and the bucket no longer pins its compiled program:
+// each flush acquires the program from the plan store for exactly the
+// replay's duration, so the store's eviction and epoch reclamation
+// stay honest even for a plan with a permanently busy bucket.
 
 package serve
 
 import (
-	"sync/atomic"
 	"time"
 
 	"productsort/internal/obs"
@@ -13,17 +18,20 @@ import (
 // BatchSizeBuckets is the histogram layout for flushed batch sizes.
 var BatchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// drainPoll is how often a draining bucket loop re-folds its limiter
+// while waiting for in-flight submissions and flushes to settle.
+const drainPoll = 50 * time.Microsecond
+
 // bucket batches every request the planner maps to one plan. All
 // requests in a bucket pad to the same node count, so any mix of sizes
 // it covers can share a flush.
 type bucket struct {
 	srv  *Server
 	plan *Plan
-	prog *schedule.Program
 
-	queue       chan *request
-	outstanding atomic.Int64 // admitted minus replied; bounded by QueueDepth
-	cols        *schedule.ColumnBuffer
+	queue   chan *request
+	limiter *shardedLimiter // admitted minus replied; bounded by QueueDepth
+	cols    *schedule.ColumnBuffer
 
 	occupancy *obs.Gauge
 	latency   *obs.Histogram
@@ -33,17 +41,17 @@ type bucket struct {
 	shed      *obs.Counter
 }
 
-// newBucket wires a bucket's queue and per-bucket instruments
+// newBucket wires a bucket's queue, limiter and per-bucket instruments
 // (serve.bucket.<network>.*).
-func newBucket(s *Server, plan *Plan, prog *schedule.Program) *bucket {
+func newBucket(s *Server, plan *Plan) *bucket {
 	prefix := "serve.bucket." + plan.Name()
 	return &bucket{
 		srv:  s,
 		plan: plan,
-		prog: prog,
-		// outstanding <= QueueDepth bounds queue occupancy too, so the
+		// limiter <= QueueDepth bounds queue occupancy too, so the
 		// admission send below can never block.
 		queue:     make(chan *request, s.cfg.QueueDepth),
+		limiter:   newShardedLimiter(s.cfg.QueueDepth, 0),
 		cols:      schedule.NewColumnBuffer(),
 		occupancy: s.met.Gauge(prefix + ".occupancy"),
 		latency:   s.met.Histogram(prefix+".latency_ns", obs.DurationBucketsNs),
@@ -54,35 +62,40 @@ func newBucket(s *Server, plan *Plan, prog *schedule.Program) *bucket {
 	}
 }
 
-// admit reserves one occupancy slot and enqueues, or reports shedding.
-func (b *bucket) admit(req *request) bool {
-	for {
-		cur := b.outstanding.Load()
-		if cur >= int64(b.srv.cfg.QueueDepth) {
-			b.shed.Inc()
-			return false
-		}
-		if b.outstanding.CompareAndSwap(cur, cur+1) {
-			break
-		}
+// admit reserves one occupancy slot, then checks the closed flag, then
+// enqueues — in that order. The reservation-first protocol is what the
+// drain relies on: a submitter that saw closed=false holds a slot that
+// every post-Close limiter fold observes, so the drain sweep cannot
+// finish before this request's enqueue lands. Returns ErrQueueFull
+// when the bucket is at depth, ErrClosed after Close.
+func (b *bucket) admit(req *request) error {
+	sh := b.limiter.acquire()
+	if sh == nil {
+		b.shed.Inc()
+		return ErrQueueFull
 	}
-	b.occupancy.Set(b.outstanding.Load())
+	if b.srv.closed.Load() {
+		b.limiter.release(sh)
+		return ErrClosed
+	}
+	req.lsh = sh
 	select {
 	case b.queue <- req:
-		return true
+		return nil
 	default:
 		// Unreachable while the occupancy invariant holds; fail closed
 		// rather than block admission.
-		b.outstanding.Add(-1)
+		b.limiter.release(sh)
 		b.shed.Inc()
-		return false
+		return ErrQueueFull
 	}
 }
 
 // loop is the bucket's batching goroutine: accumulate until MaxBatch or
 // MaxLinger after the first pending request, then hand the batch to a
-// flush. On drain it empties the (sealed, finite) queue, flushes the
-// remainder and exits.
+// flush. On drain it sweeps the sealed queue and flushes the remainder,
+// repeating until the limiter folds to zero — no admitted request,
+// however racy its enqueue, is left behind — then exits.
 func (b *bucket) loop() {
 	defer b.srv.wg.Done()
 	maxBatch := b.srv.cfg.MaxBatch
@@ -124,16 +137,27 @@ func (b *bucket) loop() {
 			flush()
 		case <-b.srv.drain:
 			for {
-				select {
-				case req := <-b.queue:
-					pending = append(pending, req)
-					if len(pending) >= maxBatch {
-						flush()
+				swept := false
+				for !swept {
+					select {
+					case req := <-b.queue:
+						pending = append(pending, req)
+						if len(pending) >= maxBatch {
+							flush()
+						}
+					default:
+						swept = true
 					}
-				default:
-					flush()
+				}
+				flush()
+				// fold()==0 means every admitted request has been
+				// replied — none is latent between its reservation and
+				// its enqueue, none is queued, none is mid-flush.
+				if b.limiter.fold() == 0 && len(b.queue) == 0 {
+					b.occupancy.Set(0)
 					return
 				}
+				time.Sleep(drainPoll)
 			}
 		}
 	}
@@ -153,7 +177,9 @@ func (b *bucket) startFlush(batch []*request) {
 // runFlush binds the batch and sorts it. A context canceled or expired
 // while the request was enqueued is honored here, before the sort; once
 // bound, a request rides the flush to completion — a mid-flush
-// cancellation neither aborts the sort nor poisons batchmates.
+// cancellation neither aborts the sort nor poisons batchmates. The
+// compiled program is acquired from the plan store for just this
+// flush, under an epoch pin released before the replies go out.
 func (b *bucket) runFlush(batch []*request) {
 	live := batch[:0]
 	for _, req := range batch {
@@ -169,6 +195,13 @@ func (b *bucket) runFlush(batch []*request) {
 	if gate := b.srv.flushGate; gate != nil {
 		<-gate
 	}
+	prog, pin, err := b.srv.store.Acquire(b.plan, b.srv.planner.Engine())
+	if err != nil {
+		for _, req := range live {
+			b.reply(req, Reply{Err: err, Network: b.plan.Name(), BatchSize: len(live)})
+		}
+		return
+	}
 	items := make([][]Key, len(live))
 	for i, req := range live {
 		items[i] = req.keys
@@ -176,7 +209,9 @@ func (b *bucket) runFlush(batch []*request) {
 	// Columnar replay: the flush transposes into per-position columns
 	// (width = live batch size) and walks the program once for the whole
 	// batch; pooled slabs keep the warm path allocation-free per item.
-	err := schedule.RunBatchColumnar(b.prog, items, 1, b.cols)
+	err = schedule.RunBatchColumnar(prog, items, 1, b.cols)
+	rounds := prog.Rounds()
+	pin.Release()
 	b.flushes.Inc()
 	b.batchSize.Observe(int64(len(live)))
 	b.colWidth.Observe(int64(len(live)))
@@ -187,18 +222,23 @@ func (b *bucket) runFlush(batch []*request) {
 		}
 		b.reply(req, Reply{
 			Keys:      req.keys,
-			Rounds:    b.prog.Rounds(),
+			Rounds:    rounds,
 			Network:   b.plan.Name(),
 			BatchSize: len(live),
 		})
 	}
+	// Folding once per flush (not per reply) keeps the reply path off
+	// shared lines; the drain loop writes the authoritative final zero.
+	b.occupancy.Set(b.limiter.fold())
+	b.srv.store.Reclaim()
 }
 
-// reply releases the request's occupancy slot, stamps the wait and
-// delivers the single reply (never blocking: out is buffered).
+// reply releases the request's admission slot back to the shard it was
+// charged to, stamps the wait and delivers the single reply (never
+// blocking: out is buffered).
 func (b *bucket) reply(req *request, rep Reply) {
 	rep.Wait = time.Since(req.t0)
-	b.occupancy.Set(b.outstanding.Add(-1))
+	b.limiter.release(req.lsh)
 	b.latency.Observe(int64(rep.Wait))
 	req.out <- rep
 }

@@ -1,4 +1,9 @@
-// The plan cache: a bounded LRU of compiled programs.
+// The plan cache: a bounded LRU of compiled programs behind one mutex.
+//
+// Superseded on the serving path by PlanStore (store.go), whose read
+// side is lock-free; PlanCache is kept as the mutex baseline the
+// contention benchmark (cmd/bench -contend) measures the store
+// against, and as the simplest correct reference implementation.
 
 package serve
 

@@ -1,0 +1,195 @@
+// Epoch-based reclamation for evicted compiled programs.
+//
+// The plan store's read path is lock-free: a reader may hold a
+// *schedule.Program pointer obtained from a slot that a writer evicts
+// concurrently. Eviction therefore never frees a program directly — it
+// unlinks the entry from the lookup table, then hands the program to
+// this domain, which frees it only after a grace period proves every
+// reader that could have seen the pre-eviction table has exited.
+//
+// The protocol is the classic epoch scheme adapted to striped reader
+// registration (the Go port of the blink-tree optimistic-read idiom):
+//
+//   - A global epoch counter advances once per retirement.
+//   - Readers pin a stripe (cache-line-padded, handed out per-P through
+//     a sync.Pool so unrelated goroutines rarely share one) before
+//     touching the table, and unpin after their last dereference.
+//   - When a stripe's pin count drops to zero, the exiting reader
+//     stamps the stripe with an epoch it loaded *before* decrementing.
+//     A stamp >= e proves: every reader that entered the stripe before
+//     the retirement at epoch e has exited, and any later reader
+//     entered after the entry was already unlinked — so nobody can
+//     still hold a program retired at or before e.
+//   - reclaim frees every retired program whose epoch is covered by the
+//     minimum stamp across all stripes (idle stripes are stamped
+//     directly under the same ordering argument).
+//
+// The hot path costs one uncontended atomic add per pin/unpin on a
+// stripe the current P effectively owns; the version load in the store
+// is the only shared-line read.
+
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"productsort/internal/obs"
+	"productsort/internal/schedule"
+)
+
+// epochStripe is one padded cell of the reader registry. pins counts
+// readers currently inside a read-side critical section that picked
+// this stripe; clearSeen is the epoch the stripe was last observed
+// empty at. The padding keeps neighbouring stripes (and whatever the
+// slice allocator places next) off this stripe's cache line.
+type epochStripe struct {
+	pins      atomic.Int64
+	clearSeen atomic.Uint64
+	_         [112]byte
+}
+
+// retiredProgram is one entry of the reclamation list: the program and
+// the epoch its retirement advanced the global counter to.
+type retiredProgram struct {
+	prog  *schedule.Program
+	epoch uint64
+}
+
+// epochDomain manages the grace-period protocol for one store.
+type epochDomain struct {
+	global  atomic.Uint64
+	stripes []epochStripe
+	next    atomic.Uint32
+	handles sync.Pool // *epochStripe: per-P stripe affinity, round-robin assigned
+
+	mu      sync.Mutex // guards retired; cold path only
+	retired []retiredProgram
+
+	retiredC *obs.Counter
+	freedC   *obs.Counter
+	pending  *obs.Gauge
+}
+
+// newEpochDomain builds a domain with the given stripe count (0 sizes
+// it to the scheduler: the next power of two covering GOMAXPROCS, at
+// least 4, so concurrent readers on distinct Ps land on distinct cache
+// lines). Instruments register in m under serve.epoch.*.
+func newEpochDomain(stripes int, m *obs.Metrics) *epochDomain {
+	if stripes < 1 {
+		stripes = nextPow2(max(4, runtime.GOMAXPROCS(0)))
+	}
+	d := &epochDomain{
+		stripes:  make([]epochStripe, stripes),
+		retiredC: m.Counter("serve.epoch.retired"),
+		freedC:   m.Counter("serve.epoch.freed"),
+		pending:  m.Gauge("serve.epoch.pending"),
+	}
+	n := uint32(stripes)
+	d.handles.New = func() any {
+		return &d.stripes[d.next.Add(1)%n]
+	}
+	return d
+}
+
+// epochPin is an active read-side critical section. The zero value is
+// inert; release is idempotent-safe against it.
+type epochPin struct {
+	d *epochDomain
+	s *epochStripe
+}
+
+// enter pins a stripe and returns the critical-section token. Must be
+// called before the first table load the pin is meant to protect.
+func (d *epochDomain) enter() epochPin {
+	s := d.handles.Get().(*epochStripe)
+	d.handles.Put(s)
+	s.pins.Add(1)
+	return epochPin{d: d, s: s}
+}
+
+// release ends the critical section. If this reader was the last one
+// in its stripe, it stamps the stripe with an epoch loaded *before*
+// the decrement — the conservative order the grace-period argument in
+// the package comment needs (a stamp taken after the decrement could
+// cover a retirement that unlinked while a new reader was already
+// inside the old table).
+func (p epochPin) release() {
+	if p.d == nil {
+		return
+	}
+	e := p.d.global.Load()
+	if p.s.pins.Add(-1) == 0 {
+		p.s.clearSeen.Store(e)
+	}
+}
+
+// retire moves an unlinked program onto the reclamation list, stamped
+// with a freshly advanced epoch. The caller must have removed every
+// lookup path to prog before calling (Retire is the fence).
+func (d *epochDomain) retire(prog *schedule.Program) {
+	prog.Retire()
+	d.mu.Lock()
+	e := d.global.Add(1)
+	d.retired = append(d.retired, retiredProgram{prog: prog, epoch: e})
+	d.retiredC.Inc()
+	d.pending.Set(int64(len(d.retired)))
+	d.mu.Unlock()
+}
+
+// reclaim frees every retired program whose grace period has elapsed
+// and returns how many it freed. Safe to call from any goroutine, any
+// number of times; each program is freed exactly once.
+func (d *epochDomain) reclaim() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.retired) == 0 {
+		return 0
+	}
+	// now is loaded before observing any stripe: a stripe seen idle
+	// after this load proves its pre-retirement readers (of anything
+	// retired at epoch <= now) are gone.
+	now := d.global.Load()
+	minCleared := now
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		cleared := s.clearSeen.Load()
+		if cleared < now && s.pins.Load() == 0 {
+			cleared = now
+		}
+		if cleared < minCleared {
+			minCleared = cleared
+		}
+	}
+	kept := d.retired[:0]
+	freed := 0
+	for _, it := range d.retired {
+		if it.epoch <= minCleared {
+			if it.prog.Free() {
+				d.freedC.Inc()
+				freed++
+			}
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	for i := len(kept); i < len(d.retired); i++ {
+		d.retired[i] = retiredProgram{} // drop the freed pointers
+	}
+	d.retired = kept
+	d.pending.Set(int64(len(d.retired)))
+	return freed
+}
+
+// epoch returns the current global epoch (== total retirements).
+func (d *epochDomain) epoch() uint64 { return d.global.Load() }
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

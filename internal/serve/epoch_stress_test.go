@@ -1,0 +1,191 @@
+// Epoch-reclamation stress: eviction under concurrent readers. Run
+// under -race this is the store's memory-lifecycle gate — the chaos
+// matrix's epoch-stress leg extends it via STRESS_MS.
+
+package serve
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"productsort/internal/schedule"
+	"productsort/internal/sort2d"
+)
+
+// stressDuration returns the stress length: short by default so plain
+// `go test` always exercises it, extended via STRESS_MS in CI.
+func stressDuration() time.Duration {
+	if ms := os.Getenv("STRESS_MS"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	return 200 * time.Millisecond
+}
+
+// TestEpochReclaimStress hammers a tiny store (every insert evicts)
+// with concurrent readers while a writer loop cycles keys and reclaims
+// continuously. The invariant under test: a reader holding a Pin never
+// observes its program freed, no matter how many evictions and
+// reclaims land mid-read. Free-hook accounting cross-checks that every
+// retired program is freed exactly once after the final drain.
+func TestEpochReclaimStress(t *testing.T) {
+	pl, plans := testPlans(t)
+	// capacity 1, single shard: maximal eviction pressure; stripes
+	// self-size so reader goroutines spread across them.
+	s := newPlanStore(1, 1, 0, nil)
+	var frees atomic.Int64
+	inner := s.compile
+	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
+		prog, err := inner(p, e)
+		if prog != nil {
+			prog.SetFreeHook(func() { frees.Add(1) })
+		}
+		return prog, err
+	}
+
+	deadline := time.Now().Add(stressDuration())
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+
+	// Readers: acquire whichever plan, hold the pin across a real use
+	// of the program (the lowered stream — exactly what a flush
+	// touches), and verify it is never freed while pinned.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				p := plans[(g+i)%len(plans)]
+				prog, pin, err := s.Acquire(p, pl.Engine())
+				if err != nil {
+					violations.Add(1)
+					pin.Release()
+					return
+				}
+				if prog.Freed() || len(prog.LoweredComparators()) == 0 {
+					violations.Add(1)
+					pin.Release()
+					return
+				}
+				pin.Release()
+			}
+		}(g)
+	}
+	// Writer: force evictions by cycling distinct keys through the
+	// 1-slot store, reclaiming as it goes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			p := plans[i%len(plans)]
+			_, pin, err := s.Acquire(p, pl.Engine())
+			if err == nil {
+				pin.Release()
+			}
+			s.Reclaim()
+		}
+	}()
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d pinned readers observed a freed or gutted program", v)
+	}
+	// Drain: all pins released, so reclamation converges to empty.
+	for i := 0; i < 3 && s.Stats().Pending > 0; i++ {
+		s.Reclaim()
+	}
+	st := s.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("reclamation did not converge: %+v", st)
+	}
+	if st.Freed != frees.Load() {
+		t.Fatalf("ledger Freed=%d but free hook ran %d times", st.Freed, frees.Load())
+	}
+	if st.Retired != st.Freed {
+		t.Fatalf("retired %d != freed %d after full drain", st.Retired, st.Freed)
+	}
+	t.Logf("stress: %d evictions, %d retired/freed, %d retries over %v",
+		st.Evictions, st.Freed, st.Retries, stressDuration())
+}
+
+// TestShardedLimiterExactBound: the limiter admits exactly total
+// holders, single-threaded, for both perShard>0 and the reserve-only
+// (total < shards) regime — the saturation scan finds every slice's
+// headroom even when all traffic lands on one shard.
+func TestShardedLimiterExactBound(t *testing.T) {
+	for _, tc := range []struct{ total, shards int }{
+		{4, 1},  // classic single counter
+		{8, 4},  // perShard = 2
+		{2, 8},  // perShard = 0: every acquire borrows via fold
+		{1, 16}, // degenerate: one slot, many shards
+	} {
+		l := newShardedLimiter(tc.total, tc.shards)
+		held := make([]*limiterShard, 0, tc.total)
+		for i := 0; i < tc.total; i++ {
+			sh := l.acquire()
+			if sh == nil {
+				t.Fatalf("total=%d shards=%d: acquire %d refused below bound", tc.total, tc.shards, i)
+			}
+			held = append(held, sh)
+		}
+		if l.acquire() != nil {
+			t.Fatalf("total=%d shards=%d: admitted past the bound", tc.total, tc.shards)
+		}
+		l.release(held[0])
+		if l.acquire() == nil {
+			t.Fatalf("total=%d shards=%d: release did not reopen admission", tc.total, tc.shards)
+		}
+		for _, sh := range held[1:] {
+			l.release(sh)
+		}
+	}
+}
+
+// TestShardedLimiterNeverOverAdmits: under concurrent acquire/release
+// churn the held count never exceeds the bound — the per-shard
+// add-then-undo caps compose into an exact total, tested empirically.
+func TestShardedLimiterNeverOverAdmits(t *testing.T) {
+	const total = 8
+	l := newShardedLimiter(total, 0)
+	var held, peak atomic.Int64
+	var overs atomic.Int64
+	deadline := time.Now().Add(stressDuration() / 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				sh := l.acquire()
+				if sh == nil {
+					continue
+				}
+				h := held.Add(1)
+				if h > total {
+					overs.Add(1)
+				}
+				for {
+					p := peak.Load()
+					if h <= p || peak.CompareAndSwap(p, h) {
+						break
+					}
+				}
+				held.Add(-1)
+				l.release(sh)
+			}
+		}()
+	}
+	wg.Wait()
+	if o := overs.Load(); o != 0 {
+		t.Fatalf("limiter over-admitted %d times (bound %d)", o, total)
+	}
+	if l.fold() != 0 {
+		t.Fatalf("fold = %d after all releases, want 0", l.fold())
+	}
+	t.Logf("peak concurrent holders: %d/%d", peak.Load(), total)
+}

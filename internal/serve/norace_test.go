@@ -1,0 +1,5 @@
+//go:build !race
+
+package serve
+
+const raceEnabled = false

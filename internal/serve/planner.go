@@ -1,7 +1,8 @@
 // Package serve turns compiled networks into a request-driven sorting
 // service. A planner maps each requested key count to the cheapest
 // covering network (candidates ranked by Theorem 1's predicted round
-// count), a bounded LRU plan cache holds the compiled programs, and
+// count), a sharded lock-free plan store holds the compiled programs
+// (versioned reads, epoch-based reclamation of evictions), and
 // size-bucketed dynamic batching accumulates admitted requests per plan
 // until MaxBatch or MaxLinger, then flushes them through the columnar
 // batch replay (schedule.RunBatchColumnar: one program walk per flush,
@@ -40,7 +41,8 @@ type Plan struct {
 	// batchmates share the flush, hence the ranking key.
 	Rounds int
 
-	sig string // schedule cache signature; the bucket and plan-cache key
+	sig string // schedule cache signature; the bucket and plan-store key
+	idx int    // position in the planner's sorted plans; the server's dense bucket index
 }
 
 // Nodes returns the plan's processor count: requests are padded to it.
@@ -87,6 +89,9 @@ func NewPlanner(nets []*product.Network, engine sort2d.Engine) (*Planner, error)
 		}
 		return plans[i].Name() < plans[j].Name()
 	})
+	for i := range plans {
+		plans[i].idx = i
+	}
 	best := make([]*Plan, len(plans))
 	for i := len(plans) - 1; i >= 0; i-- {
 		best[i] = plans[i]

@@ -1,4 +1,21 @@
 // The server: admission control, bucket dispatch, graceful drain.
+//
+// The submit path is lock-free end to end: the planner lookup is a
+// binary search over immutable plans, the bucket table is a dense
+// immutable slice indexed by plan (buckets and their loops are built
+// eagerly at New), admission is a sharded per-CPU counter
+// (admission.go), and the compiled program is acquired per flush from
+// the versioned-read plan store (store.go). No Submit ever takes a
+// mutex the Server owns.
+//
+// The drain handshake that used to lean on the server RWMutex is now
+// an ordering argument: Submit reserves its admission slot *before*
+// loading the closed flag, and each bucket's drain sweep exits only
+// once its limiter folds to zero. A submitter that observed
+// closed=false has its reservation visible to every later fold
+// (sequentially consistent atomics), so the sweep cannot conclude
+// while an admitted request has yet to enqueue — every admitted
+// request is drained, exactly as before.
 
 package serve
 
@@ -8,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"productsort/internal/obs"
@@ -37,7 +55,8 @@ type Reply struct {
 	// non-nil.
 	Keys []Key
 	// Err is nil on success, the request context's error when the
-	// request was dropped before being bound into a flush.
+	// request was dropped before being bound into a flush, or the
+	// plan's compile error when its program could not be built.
 	Err error
 	// Rounds is the parallel round charge of the compiled program that
 	// carried the request (every batchmate shares it).
@@ -69,7 +88,9 @@ type Config struct {
 	// Workers bounds concurrently running flushes across all buckets
 	// (default GOMAXPROCS).
 	Workers int
-	// PlanCacheSize bounds resident compiled programs (default 16).
+	// PlanCacheSize bounds resident compiled programs in the plan
+	// store; evicted programs are reclaimed through the epoch domain
+	// and recompiled on demand (default 16).
 	PlanCacheSize int
 	// Metrics receives serve.* instruments; nil creates a private
 	// registry (reachable via Server.Metrics).
@@ -82,6 +103,7 @@ type request struct {
 	ctx  context.Context
 	out  chan Reply // buffered 1: the single reply send never blocks
 	t0   time.Time
+	lsh  *limiterShard // the admission shard charged; released on reply
 }
 
 // Server is the multi-tenant batching sort service. Safe for concurrent
@@ -89,7 +111,7 @@ type request struct {
 type Server struct {
 	cfg     Config
 	planner *Planner
-	cache   *PlanCache
+	store   *PlanStore
 	met     *obs.Metrics
 
 	submitted *obs.Counter
@@ -99,9 +121,8 @@ type Server struct {
 	drain chan struct{} // closed once, after admission is sealed
 	wg    sync.WaitGroup
 
-	mu      sync.RWMutex
-	closed  bool
-	buckets map[string]*bucket
+	closed  atomic.Bool
+	buckets []*bucket // dense, indexed by Plan.idx; immutable after New
 
 	// flushGate, when non-nil, makes every flush block here between
 	// binding its batch and sorting it — a test hook for pinning the
@@ -110,7 +131,8 @@ type Server struct {
 }
 
 // New builds a Server from cfg. The planner is required; everything
-// else defaults.
+// else defaults. Every plan's bucket and batching loop starts here, so
+// the submit path never creates state — it only indexes.
 func New(cfg Config) (*Server, error) {
 	if cfg.Planner == nil {
 		return nil, errors.New("serve: config needs a planner")
@@ -134,17 +156,26 @@ func New(cfg Config) (*Server, error) {
 	if met == nil {
 		met = obs.NewMetrics()
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		planner:   cfg.Planner,
-		cache:     NewPlanCache(cfg.PlanCacheSize, met),
+		store:     NewPlanStore(cfg.PlanCacheSize, met),
 		met:       met,
 		submitted: met.Counter("serve.submitted"),
 		shed:      met.Counter("serve.shed"),
 		sem:       make(chan struct{}, cfg.Workers),
 		drain:     make(chan struct{}),
-		buckets:   make(map[string]*bucket),
-	}, nil
+	}
+	plans := cfg.Planner.Plans()
+	s.buckets = make([]*bucket, len(plans))
+	for i, plan := range plans {
+		s.buckets[i] = newBucket(s, plan)
+	}
+	s.wg.Add(len(s.buckets))
+	for _, b := range s.buckets {
+		go b.loop()
+	}
+	return s, nil
 }
 
 // Metrics returns the registry the server reports into.
@@ -152,6 +183,10 @@ func (s *Server) Metrics() *obs.Metrics { return s.met }
 
 // MaxKeys returns the largest request size the planner covers.
 func (s *Server) MaxKeys() int { return s.planner.MaxKeys() }
+
+// StoreStats snapshots the plan store's counters: lookup outcomes,
+// versioned-read retries, evictions and the epoch-reclamation ledger.
+func (s *Server) StoreStats() StoreStats { return s.store.Stats() }
 
 // Submit admits keys for sorting and returns the channel the single
 // Reply will arrive on. The keys slice is copied — the caller's slice
@@ -175,27 +210,23 @@ func (s *Server) Submit(ctx context.Context, keys []Key) (<-chan Reply, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := s.bucketFor(plan)
-	if err != nil {
-		return nil, err
-	}
+	b := s.buckets[plan.idx]
 	req := &request{
 		keys: append(make([]Key, 0, len(keys)), keys...),
 		ctx:  ctx,
 		out:  make(chan Reply, 1),
 		t0:   time.Now(),
 	}
-	// Admission happens under the read lock so Close (write lock)
-	// cannot seal the server between our closed-check and the enqueue:
-	// every admitted request is visible to the drain.
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	if !b.admit(req) {
-		s.shed.Inc()
-		return nil, fmt.Errorf("%w: bucket %s at depth %d", ErrQueueFull, b.plan.Name(), s.cfg.QueueDepth)
+	// Reservation before closed-check is the drain handshake: an
+	// admitted request's slot is visible to every limiter fold that
+	// runs after Close stores the flag, so the bucket's drain sweep
+	// (which exits only at fold zero) always outlasts the enqueue.
+	if err := b.admit(req); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.shed.Inc()
+			return nil, fmt.Errorf("%w: bucket %s at depth %d", ErrQueueFull, b.plan.Name(), s.cfg.QueueDepth)
+		}
+		return nil, err
 	}
 	s.submitted.Inc()
 	return req.out, nil
@@ -219,57 +250,25 @@ func (s *Server) SortKeys(ctx context.Context, keys []Key) ([]Key, error) {
 	}
 }
 
-// bucketFor returns (creating and starting on first use) the bucket
-// serving plan. Creation compiles the plan's program through the LRU
-// plan cache outside the server lock.
-func (s *Server) bucketFor(plan *Plan) (*bucket, error) {
-	s.mu.RLock()
-	b := s.buckets[plan.sig]
-	closed := s.closed
-	s.mu.RUnlock()
-	if b != nil {
-		return b, nil
-	}
-	if closed {
-		return nil, ErrClosed
-	}
-	prog, err := s.cache.Get(plan, s.planner.Engine())
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	if b := s.buckets[plan.sig]; b != nil {
-		return b, nil
-	}
-	b = newBucket(s, plan, prog)
-	s.buckets[plan.sig] = b
-	s.wg.Add(1)
-	go b.loop()
-	return b, nil
-}
-
 // Close seals admission and drains gracefully: every admitted request
-// receives its reply, then all bucket loops and flushes exit. ctx (nil
-// means Background) bounds the wait; on expiry the drain continues in
-// the background and Close returns ctx.Err(). Close is idempotent and
+// receives its reply, then all bucket loops and flushes exit and the
+// epoch domain reclaims every retired program. ctx (nil means
+// Background) bounds the wait; on expiry the drain continues in the
+// background and Close returns ctx.Err(). Close is idempotent and
 // safe to call concurrently.
 func (s *Server) Close(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
+	if s.closed.CompareAndSwap(false, true) {
 		close(s.drain)
 	}
-	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Every reader pin is released once the loops and flushes are
+		// gone, so one reclaim empties the whole retirement list.
+		s.store.Reclaim()
 		close(done)
 	}()
 	select {

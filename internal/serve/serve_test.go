@@ -369,7 +369,11 @@ func TestServerMetrics(t *testing.T) {
 	if occ := snap.Gauges["serve.bucket.K2^2.occupancy"]; occ != 0 {
 		t.Fatalf("occupancy after drain = %d, want 0", occ)
 	}
-	if got := snap.Counters["serve.plancache.misses"]; got != 1 {
-		t.Fatalf("plancache misses = %d, want 1", got)
+	if got := snap.Counters["serve.planstore.misses"]; got != 1 {
+		t.Fatalf("planstore misses = %d, want 1", got)
+	}
+	stats := s.StoreStats()
+	if stats.Misses != 1 || stats.Hits < 1 {
+		t.Fatalf("store stats = %+v, want 1 miss and >= 1 hit", stats)
 	}
 }

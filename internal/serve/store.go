@@ -1,0 +1,360 @@
+// PlanStore: the lock-free successor to PlanCache.
+//
+// PlanCache serialises every lookup — hit or miss — through one mutex;
+// at serving scale that lock is the ceiling, because the paper's
+// compile-once/replay-many split makes lookup, not compilation, the
+// hot operation. PlanStore removes the lock from the read path:
+//
+//   - Lookups are optimistic versioned reads. Each slot carries a
+//     seqlock-style version stamp (odd while a writer is mid-swap);
+//     a reader loads the version, loads the entry, and re-validates the
+//     version — retrying (with a Gosched backoff) on a torn read. The
+//     warm path touches one version word and one entry pointer; it
+//     takes no lock, writes no shared line, and allocates nothing.
+//   - Misses coalesce: concurrent misses on one signature fold into a
+//     single CompileUncached through a per-shard inflight table, as
+//     PlanCache's once-guarded slots did.
+//   - Eviction never frees. A displaced program is unlinked under the
+//     slot's seqlock, then retired into the store's epoch domain
+//     (epoch.go); it is freed only after a grace period proves every
+//     reader that could have seen it has released its Pin. No reader
+//     ever dereferences a freed schedule.Program.
+//
+// The table is sharded by signature hash so unrelated topologies take
+// independent writer locks; within a shard, slots approximate LRU with
+// a coarse-grained last-use stamp that is only rewritten when it has
+// aged past recencyGrain — keeping the hit path read-only on the
+// shared line in the steady state.
+
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"productsort/internal/obs"
+	"productsort/internal/schedule"
+	"productsort/internal/sort2d"
+)
+
+// recencyGrain is how much a slot's last-use stamp must lag before a
+// hit rewrites it. Coarser = fewer shared-line writes on the hot path;
+// finer = closer-to-true LRU. 1ms keeps eviction ordering meaningful
+// at serving rates while making steady-state hits pure reads.
+const recencyGrain = int64(time.Millisecond)
+
+// storeSpinBudget is how many torn-version retries a reader burns
+// before yielding the processor — essential when reader and writer
+// share one P (GOMAXPROCS=1), where spinning would deadlock the writer
+// out of its own version-restore.
+const storeSpinBudget = 8
+
+// storeEntry is one resident program. Entries are immutable after
+// publication except lastUse; replacement swaps the whole entry.
+type storeEntry struct {
+	key     string
+	hash    uint64
+	prog    *schedule.Program
+	lastUse atomic.Int64 // coarse store-relative nanos, see recencyGrain
+}
+
+// storeSlot is one seqlock-guarded table cell. version is even when the
+// slot is stable and odd while a writer is swapping the entry; entry is
+// additionally an atomic pointer so racing loads are well-defined (the
+// version stamp makes the *pair* of loads consistent, the atomic makes
+// each load untorn).
+type storeSlot struct {
+	version atomic.Uint64
+	entry   atomic.Pointer[storeEntry]
+}
+
+// compileSlot coalesces concurrent misses on one signature.
+type compileSlot struct {
+	once sync.Once
+	prog *schedule.Program
+	err  error
+}
+
+// storeShard is one writer domain: a fixed slot array read lock-free
+// and written under mu, plus the shard's miss-coalescing table. Padded
+// so neighbouring shards' writer locks never share a cache line.
+type storeShard struct {
+	mu       sync.Mutex
+	slots    []storeSlot
+	inflight map[string]*compileSlot
+	_        [40]byte
+}
+
+// StoreStats is a point-in-time snapshot of a PlanStore's counters —
+// the serving surface mirrors it at the root API.
+type StoreStats struct {
+	// Hits and Misses count lookups by outcome; Retries counts torn
+	// versioned reads that re-ran validation.
+	Hits, Misses, Retries int64
+	// Evictions counts programs displaced from the table; Retired and
+	// Freed count epoch-list entry and exit, and Pending is the current
+	// reclamation backlog (Retired - Freed).
+	Evictions, Retired, Freed, Pending int64
+	// Resident is the current entry count.
+	Resident int
+}
+
+// PlanStore is a bounded, sharded, lock-free-read cache of compiled
+// phase programs keyed by schedule cache signature. See the file
+// comment for the protocol. The zero value is not usable; construct
+// with NewPlanStore.
+type PlanStore struct {
+	shards []storeShard
+	mask   uint64
+	domain *epochDomain
+	start  time.Time
+
+	// compile builds a program for a plan — a seam the deterministic
+	// tests replace; production uses schedule.CompileUncached.
+	compile func(*Plan, sort2d.Engine) (*schedule.Program, error)
+
+	hits, misses, evictions, retries *obs.Counter
+}
+
+// NewPlanStore returns a store holding at most capacity programs
+// (minimum 1), reporting into m (a private registry when nil) under
+// serve.planstore.* and serve.epoch.*. Shard count follows GOMAXPROCS.
+func NewPlanStore(capacity int, m *obs.Metrics) *PlanStore {
+	return newPlanStore(capacity, 0, 0, m)
+}
+
+// newPlanStore is the fully parameterised constructor: shards and
+// stripes of 0 self-size to the scheduler; tests pin both to 1 for
+// determinism.
+func newPlanStore(capacity, shards, stripes int, m *obs.Metrics) *PlanStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	if shards < 1 {
+		shards = nextPow2(min(max(1, runtime.GOMAXPROCS(0)), capacity))
+	} else {
+		shards = nextPow2(shards)
+	}
+	per := (capacity + shards - 1) / shards
+	s := &PlanStore{
+		shards:    make([]storeShard, shards),
+		mask:      uint64(shards - 1),
+		domain:    newEpochDomain(stripes, m),
+		start:     time.Now(),
+		hits:      m.Counter("serve.planstore.hits"),
+		misses:    m.Counter("serve.planstore.misses"),
+		evictions: m.Counter("serve.planstore.evictions"),
+		retries:   m.Counter("serve.planstore.retries"),
+	}
+	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
+		return schedule.CompileUncached(p.Net, e)
+	}
+	for i := range s.shards {
+		s.shards[i].slots = make([]storeSlot, per)
+		s.shards[i].inflight = make(map[string]*compileSlot)
+	}
+	return s
+}
+
+// Pin is a held read-side reference: while any Pin taken before a
+// program's eviction remains unreleased, that program will not be
+// freed. The zero value is inert. Release is cheap (one atomic add)
+// and must be called exactly once per successful Acquire, after the
+// caller's last use of the program.
+type Pin struct {
+	pin epochPin
+}
+
+// Release ends the grace-period protection. Safe on the zero value.
+func (p Pin) Release() { p.pin.release() }
+
+// fnv1a hashes a signature string (FNV-1a 64, allocation-free).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Acquire returns the compiled program for plan plus the Pin that
+// keeps it alive, compiling with engine on a miss. The hit path is
+// lock-free and allocation-free; the caller must Release the Pin after
+// its last use of the program.
+func (s *PlanStore) Acquire(plan *Plan, engine sort2d.Engine) (*schedule.Program, Pin, error) {
+	h := fnv1a(plan.sig)
+	sh := &s.shards[h&s.mask]
+	for {
+		// The pin must be live before the first table load: eviction
+		// retires strictly after unlinking, so any program a pinned
+		// reader can still find was retired — if at all — after this
+		// enter, and the grace period covers it.
+		pin := s.domain.enter()
+		if prog := s.lookup(sh, plan.sig, h); prog != nil {
+			s.hits.Inc()
+			return prog, Pin{pin: pin}, nil
+		}
+		s.misses.Inc()
+		prog, err := s.compileCoalesced(sh, plan, engine, h)
+		if err != nil {
+			pin.release()
+			return nil, Pin{}, err
+		}
+		// A coalesced waiter can receive a program that was inserted,
+		// evicted and retired before this goroutine's pin existed — the
+		// one interleaving the grace period cannot cover. Detect it and
+		// go around; the next lap misses and compiles fresh.
+		if prog.Retired() {
+			pin.release()
+			continue
+		}
+		return prog, Pin{pin: pin}, nil
+	}
+}
+
+// lookup scans the shard's slots for key with seqlock validation.
+// Returns nil on miss. Caller holds an epoch pin.
+func (s *PlanStore) lookup(sh *storeShard, key string, h uint64) *schedule.Program {
+	now := int64(time.Since(s.start))
+	for i := range sh.slots {
+		sl := &sh.slots[i]
+		for spins := 0; ; spins++ {
+			v1 := sl.version.Load()
+			if v1&1 != 0 {
+				// Writer mid-swap: torn read, retry.
+				s.retries.Inc()
+				if spins >= storeSpinBudget {
+					runtime.Gosched()
+				}
+				continue
+			}
+			e := sl.entry.Load()
+			if sl.version.Load() != v1 {
+				// Entry swapped under us between the two version loads.
+				s.retries.Inc()
+				if spins >= storeSpinBudget {
+					runtime.Gosched()
+				}
+				continue
+			}
+			if e == nil || e.hash != h || e.key != key {
+				break // consistent miss on this slot; next slot
+			}
+			// Hit. Refresh recency only when the stamp has aged past
+			// the grain, so steady-state hits never write shared lines.
+			if now-e.lastUse.Load() > recencyGrain {
+				e.lastUse.Store(now)
+			}
+			return e.prog
+		}
+	}
+	return nil
+}
+
+// compileCoalesced folds concurrent misses on one signature into a
+// single compile, inserting the result into the table on success.
+func (s *PlanStore) compileCoalesced(sh *storeShard, plan *Plan, engine sort2d.Engine, h uint64) (*schedule.Program, error) {
+	sh.mu.Lock()
+	cs, ok := sh.inflight[plan.sig]
+	if !ok {
+		cs = &compileSlot{}
+		sh.inflight[plan.sig] = cs
+	}
+	sh.mu.Unlock()
+	cs.once.Do(func() {
+		cs.prog, cs.err = s.compile(plan, engine)
+		sh.mu.Lock()
+		if cs.err == nil {
+			s.insertLocked(sh, plan.sig, h, cs.prog)
+		}
+		delete(sh.inflight, plan.sig)
+		sh.mu.Unlock()
+	})
+	return cs.prog, cs.err
+}
+
+// insertLocked publishes prog under key, evicting if the shard is
+// full. Victim preference: a slot already holding key (racing inserts
+// of one signature keep one copy), then an empty slot, then the least
+// recently used. The displaced program is retired, never freed here.
+// Caller holds sh.mu.
+func (s *PlanStore) insertLocked(sh *storeShard, key string, h uint64, prog *schedule.Program) {
+	victim := -1
+	for i := range sh.slots {
+		if e := sh.slots[i].entry.Load(); e != nil && e.hash == h && e.key == key {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		for i := range sh.slots {
+			if sh.slots[i].entry.Load() == nil {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim == -1 {
+		var oldest int64
+		for i := range sh.slots {
+			lu := sh.slots[i].entry.Load().lastUse.Load()
+			if victim == -1 || lu < oldest {
+				victim, oldest = i, lu
+			}
+		}
+	}
+	ne := &storeEntry{key: key, hash: h, prog: prog}
+	ne.lastUse.Store(int64(time.Since(s.start)))
+	sl := &sh.slots[victim]
+	sl.version.Add(1) // odd: readers back off
+	old := sl.entry.Swap(ne)
+	sl.version.Add(1) // even: slot stable again
+	if old != nil {
+		s.evictions.Inc()
+		// Unlinked above; retire after unlink is the protocol's fence.
+		s.domain.retire(old.prog)
+	}
+}
+
+// Reclaim frees every retired program whose grace period has elapsed
+// and returns how many were freed. The server calls it after flushes
+// and during drain; tests call it directly.
+func (s *PlanStore) Reclaim() int { return s.domain.reclaim() }
+
+// Len reports the resident entry count.
+func (s *PlanStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.slots {
+			if sh.slots[j].entry.Load() != nil {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the store's counters.
+func (s *PlanStore) Stats() StoreStats {
+	retired := s.domain.retiredC.Value()
+	freed := s.domain.freedC.Value()
+	return StoreStats{
+		Hits:      s.hits.Value(),
+		Misses:    s.misses.Value(),
+		Retries:   s.retries.Value(),
+		Evictions: s.evictions.Value(),
+		Retired:   retired,
+		Freed:     freed,
+		Pending:   retired - freed,
+		Resident:  s.Len(),
+	}
+}

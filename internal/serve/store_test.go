@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"productsort/internal/obs"
+	"productsort/internal/schedule"
+	"productsort/internal/sort2d"
+)
+
+// testStore builds a deterministic store: capacity slots in ONE shard
+// with ONE epoch stripe, so eviction order and grace periods are exact.
+func testStore(t *testing.T, capacity int) (*PlanStore, *obs.Metrics) {
+	t.Helper()
+	m := obs.NewMetrics()
+	return newPlanStore(capacity, 1, 1, m), m
+}
+
+// acquire is a must-succeed Acquire.
+func acquire(t *testing.T, s *PlanStore, p *Plan, e sort2d.Engine) (*schedule.Program, Pin) {
+	t.Helper()
+	prog, pin, err := s.Acquire(p, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil {
+		t.Fatal("Acquire returned nil program")
+	}
+	return prog, pin
+}
+
+// TestPlanStoreHitMissEvict: basic residency semantics — repeat
+// lookups hit, capacity evicts, counters and Len stay exact.
+func TestPlanStoreHitMissEvict(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+
+	progA, pinA := acquire(t, s, plans[0], pl.Engine()) // miss
+	pinA.Release()
+	progA2, pinA2 := acquire(t, s, plans[0], pl.Engine()) // hit
+	pinA2.Release()
+	if progA != progA2 {
+		t.Fatal("hit returned a different program than the miss compiled")
+	}
+	_, pinB := acquire(t, s, plans[1], pl.Engine()) // miss
+	pinB.Release()
+	_, pinC := acquire(t, s, plans[2], pl.Engine()) // miss; evicts one
+	pinC.Release()
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Retired != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 3 misses / 1 eviction / 1 retired", st)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	// All pins released: one reclaim frees the whole retirement list.
+	if freed := s.Reclaim(); freed != 1 {
+		t.Fatalf("Reclaim freed %d, want 1", freed)
+	}
+	if st := s.Stats(); st.Freed != 1 || st.Pending != 0 {
+		t.Fatalf("post-reclaim stats = %+v, want Freed=1 Pending=0", st)
+	}
+}
+
+// TestPlanStoreLRUVictim: with the recency grain elapsed between
+// touches, the least recently used entry is the one displaced.
+func TestPlanStoreLRUVictim(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+
+	progA, pinA := acquire(t, s, plans[0], pl.Engine())
+	pinA.Release()
+	_, pinB := acquire(t, s, plans[1], pl.Engine())
+	pinB.Release()
+	// Age both stamps past the grain, then touch A so B is the victim.
+	time.Sleep(2 * time.Millisecond)
+	_, pinA2 := acquire(t, s, plans[0], pl.Engine())
+	pinA2.Release()
+	_, pinC := acquire(t, s, plans[2], pl.Engine()) // evicts B
+	pinC.Release()
+
+	progA3, pinA3 := acquire(t, s, plans[0], pl.Engine()) // still resident
+	pinA3.Release()
+	if progA3 != progA {
+		t.Fatal("recently used entry was evicted")
+	}
+	if st := s.Stats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (B evicted, A retained)", st.Misses)
+	}
+}
+
+// TestPlanStoreTornVersionRetry: a reader that finds a slot's version
+// odd (writer mid-swap) retries rather than returning a torn entry,
+// and completes once the writer restores the version.
+func TestPlanStoreTornVersionRetry(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+	_, pin := acquire(t, s, plans[0], pl.Engine())
+	pin.Release()
+
+	sl := &s.shards[0].slots[0]
+	if sl.entry.Load() == nil {
+		t.Fatal("expected slot 0 resident in the single-shard store")
+	}
+	sl.version.Add(1) // simulate a writer parked mid-swap: version odd
+
+	got := make(chan *schedule.Program, 1)
+	go func() {
+		prog, p, err := s.Acquire(plans[0], pl.Engine())
+		if err != nil {
+			got <- nil
+			return
+		}
+		p.Release()
+		got <- prog
+	}()
+	select {
+	case <-got:
+		t.Fatal("reader returned while the slot version was torn")
+	case <-time.After(20 * time.Millisecond):
+	}
+	before := s.Stats().Retries
+	if before == 0 {
+		t.Fatal("spinning reader recorded no retries")
+	}
+	sl.version.Add(1) // writer completes: version even again
+	select {
+	case prog := <-got:
+		if prog == nil {
+			t.Fatal("reader errored after version restore")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not complete after version restore")
+	}
+}
+
+// TestPlanStoreReaderNeverSeesRetired: an entry evicted while a reader
+// holds a pin is retired but not freed until the pin is released; new
+// readers of the same key never receive the retired program.
+func TestPlanStoreReaderNeverSeesRetired(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 1) // capacity 1: every new key evicts
+
+	progA, pinA := acquire(t, s, plans[0], pl.Engine())
+	// Evict A while pinA is live.
+	_, pinB := acquire(t, s, plans[1], pl.Engine())
+	pinB.Release()
+
+	if !progA.Retired() {
+		t.Fatal("evicted program not retired")
+	}
+	if progA.Freed() {
+		t.Fatal("evicted program freed while a pre-eviction pin is held")
+	}
+	if freed := s.Reclaim(); freed != 0 {
+		t.Fatalf("Reclaim freed %d under a live pin, want 0", freed)
+	}
+	// A new reader of A's key must get a fresh program, never the
+	// retired one.
+	progA2, pinA2 := acquire(t, s, plans[0], pl.Engine())
+	if progA2 == progA {
+		t.Fatal("reader observed the retired program")
+	}
+	if progA2.Retired() {
+		t.Fatal("freshly acquired program is retired")
+	}
+
+	// Releasing the pre-eviction pin opens the grace period; reclaim
+	// now frees A (and only A — B was evicted by A2's insert and is
+	// still protected by nothing... it has no pin, so both may free).
+	pinA.Release()
+	pinA2.Release()
+	if s.Reclaim() == 0 {
+		t.Fatal("Reclaim freed nothing after all pins released")
+	}
+	if !progA.Freed() {
+		t.Fatal("retired program still not freed after grace period")
+	}
+}
+
+// TestPlanStoreFreeExactlyOnce: eviction frees a program exactly once,
+// pinned by a free-hook counter across repeated reclaims.
+func TestPlanStoreFreeExactlyOnce(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 1)
+	var frees atomic.Int64
+	inner := s.compile
+	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
+		prog, err := inner(p, e)
+		if prog != nil {
+			prog.SetFreeHook(func() { frees.Add(1) })
+		}
+		return prog, err
+	}
+
+	_, pinA := acquire(t, s, plans[0], pl.Engine())
+	pinA.Release()
+	_, pinB := acquire(t, s, plans[1], pl.Engine()) // evicts A
+	pinB.Release()
+
+	for i := 0; i < 3; i++ {
+		s.Reclaim()
+	}
+	if got := frees.Load(); got != 1 {
+		t.Fatalf("free hook ran %d times, want exactly 1", got)
+	}
+	if st := s.Stats(); st.Freed != 1 {
+		t.Fatalf("Freed = %d, want 1", st.Freed)
+	}
+}
+
+// TestPlanStoreCoalescesCompiles: concurrent misses on one signature
+// fold into a single compile.
+func TestPlanStoreCoalescesCompiles(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+	var compiles atomic.Int64
+	inner := s.compile
+	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
+		compiles.Add(1)
+		time.Sleep(2 * time.Millisecond) // widen the coalescing window
+		return inner(p, e)
+	}
+
+	const readers = 16
+	progs := make([]*schedule.Program, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, pin, err := s.Acquire(plans[0], pl.Engine())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pin.Release()
+			progs[i] = prog
+		}(i)
+	}
+	wg.Wait()
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("%d compiles for one signature, want 1 (coalesced)", got)
+	}
+	for i := 1; i < readers; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("coalesced readers disagree on the program")
+		}
+	}
+}
+
+// TestPlanStoreWarmAcquireZeroAllocs pins the hot-path guarantee: a
+// warm Acquire + Release allocates nothing.
+func TestPlanStoreWarmAcquireZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+	_, pin := acquire(t, s, plans[0], pl.Engine())
+	pin.Release()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		prog, pin, err := s.Acquire(plans[0], pl.Engine())
+		if err != nil || prog == nil {
+			t.Fatal("warm acquire failed")
+		}
+		pin.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Acquire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPlanStoreCompileErrorNotCached: a failed compile leaves no
+// residue — the next Acquire retries the compile.
+func TestPlanStoreCompileErrorNotCached(t *testing.T) {
+	pl, plans := testPlans(t)
+	s, _ := testStore(t, 2)
+	inner := s.compile
+	fail := true
+	var mu sync.Mutex
+	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
+		mu.Lock()
+		f := fail
+		fail = false
+		mu.Unlock()
+		if f {
+			return nil, errTestCompile
+		}
+		return inner(p, e)
+	}
+	if _, _, err := s.Acquire(plans[0], pl.Engine()); err != errTestCompile {
+		t.Fatalf("first acquire error = %v, want errTestCompile", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed compile left a resident entry")
+	}
+	_, pin := acquire(t, s, plans[0], pl.Engine())
+	pin.Release()
+}
+
+var errTestCompile = errors.New("test: compile failed")

@@ -17,6 +17,12 @@
 //	res, _ := productsort.Sort(nw, keys)       // len(keys) == 64
 //	fmt.Println(res.Keys)                      // sorted, snake order
 //	fmt.Println(res.Rounds)                    // parallel time
+//
+// For request-driven workloads, NewServer wraps the same compiled
+// programs in a batching sort service whose submit path is lock-free
+// end to end — plans resolve through an epoch-managed versioned-read
+// store and admission through sharded per-CPU counters (see server.go
+// and Server.StoreStats for the observability surface).
 package productsort
 
 import (

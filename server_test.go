@@ -128,8 +128,12 @@ func TestServerMetricsSnapshot(t *testing.T) {
 	if got := snap.Counters["serve.submitted"]; got != 4 {
 		t.Fatalf("serve.submitted = %d, want 4", got)
 	}
-	if got := snap.Counters["serve.plancache.misses"]; got < 1 {
-		t.Fatalf("plancache misses = %d, want >= 1", got)
+	if got := snap.Counters["serve.planstore.misses"]; got < 1 {
+		t.Fatalf("planstore misses = %d, want >= 1", got)
+	}
+	stats := s.StoreStats()
+	if stats.Misses < 1 || stats.Hits < 1 {
+		t.Fatalf("store stats = %+v, want at least one miss and one hit", stats)
 	}
 	if _, err := s.SortKeys(context.Background(), serverKeys(8, 9)); !errors.Is(err, productsort.ErrServerClosed) {
 		t.Fatalf("post-close sort = %v, want ErrServerClosed", err)
