@@ -20,7 +20,8 @@ GOVULNCHECK_VERSION ?= v1.1.4
 COVER_FLOOR ?= 80.0
 
 .PHONY: ci vet build test test-shuffle race fmtcheck fmt lint lint-tools cover \
-	bce bench-schedule chaos fuzz cert serve-soak bench-serve contend epoch-stress
+	bce bench-schedule chaos fuzz cert serve-soak bench-serve contend epoch-stress \
+	extsort-battery extsort-fuzz bench-extsort
 
 ci: vet build test race fmtcheck lint cover bce
 
@@ -127,6 +128,7 @@ fuzz:
 	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzSplitPosLemma -fuzztime=10s
 	$(GO) test ./internal/gray/ -run=^$$ -fuzz=FuzzMixedRadixRoundTrip -fuzztime=10s
 	$(GO) test ./internal/schedule/ -run=^$$ -fuzz=FuzzColumnarEquivalence -fuzztime=10s
+	$(GO) test ./internal/extsort/ -run=^$$ -fuzz=FuzzSortStreamEquivalence -fuzztime=15s
 
 # Certification gate: machine-check (0-1 principle, bitsliced) that the
 # compiled phase program of every built-in family/engine pair sorts —
@@ -166,3 +168,27 @@ STRESS_MS ?= 2000
 epoch-stress:
 	STRESS_MS=$(STRESS_MS) $(GO) test -race -count=1 \
 		-run 'TestEpochReclaimStress|TestShardedLimiter' ./internal/serve/
+
+# Streaming external sort battery, race-enabled: the extsort package's
+# oracle/property/cancel tests, the serve large-request lane, and the
+# root-level acceptance tests (1e6-key oracle under -race, chaos-leg
+# run formation through SortResilient, spill-path oracle).
+extsort-battery:
+	$(GO) test -race -count=1 ./internal/extsort/
+	$(GO) test -race -count=1 -run 'SubmitStream' ./internal/serve/
+	$(GO) test -race -count=1 \
+		-run 'TestSortStream|TestServerSubmitStreamRoot' .
+
+# Bounded streaming-sort fuzz: SortStream vs sort.Slice over
+# fuzz-chosen lengths, run sizes, fan-ins and spill budgets. The pinned
+# short budget keeps it a smoke pass in CI; crank -fuzztime locally for
+# a real hunt.
+EXTSORT_FUZZTIME ?= 20s
+extsort-fuzz:
+	$(GO) test ./internal/extsort/ -run=^$$ \
+		-fuzz=FuzzSortStreamEquivalence -fuzztime=$(EXTSORT_FUZZTIME)
+
+# Streaming tier vs sort.Slice: throughput over the size sweep plus the
+# merge fan-in sweep; writes BENCH_extsort.json.
+bench-extsort:
+	$(GO) run ./cmd/bench -extsort

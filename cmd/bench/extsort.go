@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"productsort"
+)
+
+// extsortEntry is one (input size, fan-in) cell: the streaming tier's
+// wall clock and throughput next to a sort.Slice baseline over the
+// same keys.
+type extsortEntry struct {
+	Keys    int `json:"keys"`
+	FanIn   int `json:"fanIn"`
+	RunSize int `json:"runSize"`
+	// Runs, MergePasses and SpilledBytes come from the tier's own
+	// accounting (extsort.Stats).
+	Runs         int64 `json:"runs"`
+	MergePasses  int   `json:"mergePasses"`
+	SpilledBytes int64 `json:"spilledBytes"`
+	// StreamNs is SortStream end to end; BaselineNs is sort.Slice on a
+	// copy of the same input.
+	StreamNs   int64 `json:"streamNs"`
+	BaselineNs int64 `json:"baselineNs"`
+	// StreamKeysPerSec and BaselineKeysPerSec are the derived
+	// throughputs; Ratio is baseline/stream (>1 means sort.Slice wins).
+	StreamKeysPerSec   float64 `json:"streamKeysPerSec"`
+	BaselineKeysPerSec float64 `json:"baselineKeysPerSec"`
+	Ratio              float64 `json:"ratio"`
+}
+
+// extsortReport is the BENCH_extsort.json document: a size sweep at
+// the default fan-in followed by a fan-in sweep at a fixed size.
+type extsortReport struct {
+	Generated string         `json:"generated"`
+	Network   string         `json:"network"`
+	Nodes     int            `json:"nodes"`
+	SizeSweep []extsortEntry `json:"sizeSweep"`
+	FanSweep  []extsortEntry `json:"fanSweep"`
+}
+
+// runExtsortBench measures the streaming external sort tier (certified
+// run formation + loser-tree merge) against sort.Slice and writes the
+// report to path. Every streamed output is verified sorted with the
+// right key count before its numbers are recorded.
+func runExtsortBench(path, sizesCSV, faninsCSV string, seed int64) error {
+	sizes, err := parseInts("extsortsizes", sizesCSV)
+	if err != nil {
+		return err
+	}
+	fanins, err := parseInts("fanins", faninsCSV)
+	if err != nil {
+		return err
+	}
+	nw, err := productsort.Hypercube(10)
+	if err != nil {
+		return err
+	}
+	c, err := productsort.Compile(nw)
+	if err != nil {
+		return err
+	}
+	rep := extsortReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Network:   nw.Name(),
+		Nodes:     nw.Nodes(),
+	}
+	fmt.Printf("extsort bench: %s (%d nodes)\n", rep.Network, rep.Nodes)
+
+	for _, n := range sizes {
+		e, err := extsortCell(c, n, 0, seed)
+		if err != nil {
+			return err
+		}
+		rep.SizeSweep = append(rep.SizeSweep, e)
+		fmt.Printf("  size %9d: stream %8.0f keys/s, sort.Slice %8.0f keys/s (x%.2f), %d runs, %d merge passes\n",
+			n, e.StreamKeysPerSec, e.BaselineKeysPerSec, e.Ratio, e.Runs, e.MergePasses)
+	}
+	// The fan-in sweep holds the input fixed at the second-largest size
+	// (the largest is the slowest cell; the sweep multiplies it).
+	fanN := sizes[0]
+	if len(sizes) > 1 {
+		fanN = sizes[len(sizes)-2]
+	}
+	for _, k := range fanins {
+		e, err := extsortCell(c, fanN, k, seed)
+		if err != nil {
+			return err
+		}
+		rep.FanSweep = append(rep.FanSweep, e)
+		fmt.Printf("  fan-in %4d (n=%d): stream %8.0f keys/s, %d merge passes\n",
+			k, fanN, e.StreamKeysPerSec, e.MergePasses)
+	}
+	return writeJSONArtifact(path, &rep)
+}
+
+// extsortCell runs one measurement: n keys through SortStream with the
+// given fan-in (0 = tier default), then sort.Slice over a copy.
+func extsortCell(c *productsort.CompiledNetwork, n, fanIn int, seed int64) (extsortEntry, error) {
+	if n < 1 {
+		return extsortEntry{}, fmt.Errorf("extsort bench: size %d < 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed + int64(n) + int64(fanIn)<<32))
+	keys := make([]productsort.Key, n)
+	for i := range keys {
+		keys[i] = productsort.Key(rng.Int63() - 1<<62)
+	}
+
+	start := time.Now()
+	got, stats, err := c.SortStreamKeys(context.Background(), keys, productsort.StreamConfig{FanIn: fanIn})
+	streamNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		return extsortEntry{}, fmt.Errorf("extsort bench: SortStream(n=%d, fanIn=%d): %w", n, fanIn, err)
+	}
+	if len(got) != n || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		return extsortEntry{}, fmt.Errorf("extsort bench: SortStream(n=%d, fanIn=%d) output unsorted or truncated (%d keys)", n, fanIn, len(got))
+	}
+
+	base := append([]productsort.Key(nil), keys...)
+	start = time.Now()
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	baseNs := time.Since(start).Nanoseconds()
+
+	return extsortEntry{
+		Keys:               n,
+		FanIn:              stats.MaxFanIn,
+		RunSize:            stats.RunSize,
+		Runs:               stats.Runs,
+		MergePasses:        stats.MergePasses,
+		SpilledBytes:       stats.SpilledBytes,
+		StreamNs:           streamNs,
+		BaselineNs:         baseNs,
+		StreamKeysPerSec:   float64(n) / (float64(streamNs) / 1e9),
+		BaselineKeysPerSec: float64(n) / (float64(baseNs) / 1e9),
+		Ratio:              float64(baseNs) / float64(streamNs),
+	}, nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("extsort bench: bad -%s entry %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("extsort bench: -%s is empty", flagName)
+	}
+	return out, nil
+}

@@ -11,6 +11,8 @@
 //	bench -chaos           # resilient sorts under injected faults
 //	bench -contend         # plan-store contention sweep across GOMAXPROCS
 //	bench -cert            # bitsliced 0-1 certification of compiled programs
+//	bench -extsort         # streaming external sort tier vs sort.Slice
+//	bench -mode extsort    # same modes by name; unknown names fail the run
 //
 // Profiling flags (-cpuprofile, -memprofile) apply to every mode, so a
 // single run produces a flamegraph-able profile alongside its output.
@@ -63,6 +65,12 @@ func run() int {
 	certOut := flag.String("certout", "BENCH_cert.json", "output path for -cert")
 	certMax := flag.Int("certmax", 20, "largest key count certified exhaustively for -cert")
 	certSample := flag.Int("certsample", 1<<16, "sampled-mode vector count for -cert")
+	extsortMode := flag.Bool("extsort", false, "benchmark the streaming external sort tier against sort.Slice and exit")
+	extsortOut := flag.String("extsortout", "BENCH_extsort.json", "output path for -extsort")
+	extsortSizes := flag.String("extsortsizes", "10000,100000,1000000,10000000", "comma-separated input sizes for -extsort's size sweep")
+	extsortFanins := flag.String("fanins", "2,4,8,16,32,64", "comma-separated merge fan-ins for -extsort's fan-in sweep")
+	extsortSeed := flag.Int64("extsortseed", 1, "workload seed for -extsort")
+	mode := flag.String("mode", "", "select a mode by name (exp, schedule, chaos, serve, contend, cert, extsort) instead of the boolean flags; unknown names fail the run")
 	tracePath := flag.String("trace", "", "trace one sort on the selected network (-network/-n/-r), write Chrome trace_event JSON to this path, and exit")
 	metricsPath := flag.String("metricsout", "", "with -trace: also write the metrics registry snapshot as JSON to this path")
 	traceSeed := flag.Int64("traceseed", 1, "workload seed for -trace")
@@ -106,6 +114,32 @@ func run() int {
 		}()
 	}
 
+	// -mode is the named-dispatch equivalent of the boolean mode flags.
+	// An unknown name must fail loudly with the valid list — falling
+	// through to "run all experiments" would silently run the wrong
+	// thing for minutes and leave CI none the wiser.
+	if *mode != "" {
+		switch *mode {
+		case "exp":
+			// The default experiment path below.
+		case "schedule":
+			*schedMode = true
+		case "chaos":
+			*chaosMode = true
+		case "serve":
+			*serveMode = true
+		case "contend":
+			*contendMode = true
+		case "cert":
+			*certMode = true
+		case "extsort":
+			*extsortMode = true
+		default:
+			fmt.Fprintf(os.Stderr, "bench: unknown -mode %q (valid: exp, schedule, chaos, serve, contend, cert, extsort)\n", *mode)
+			return 2
+		}
+	}
+
 	switch {
 	case *tracePath != "":
 		if err := runTrace(netFlags, *tracePath, *metricsPath, *traceSeed, *faultSeed); err != nil {
@@ -139,6 +173,12 @@ func run() int {
 		return 0
 	case *certMode:
 		if err := runCertBench(*certOut, *certMax, *certSample, *schedWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case *extsortMode:
+		if err := runExtsortBench(*extsortOut, *extsortSizes, *extsortFanins, *extsortSeed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

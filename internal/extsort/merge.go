@@ -1,0 +1,266 @@
+// The k-way merge: a loser tree over run cursors, the software image
+// of the paper's Section 3 multiway merge. The tree's internal nodes
+// hold the losers of the matches along each winner's path to the root,
+// so emitting the minimum and reseating its replacement costs exactly
+// ⌈log₂ k⌉ comparisons — the same per-level compare cascade the
+// merging network performs in one parallel step, serialized. When the
+// run count exceeds the fan-in, full passes merge groups of FanIn runs
+// into intermediate spill segments (bounded memory: a pass holds FanIn
+// read buffers and one write buffer, never a whole run), exactly the
+// recursive composition the agglomeration law certifies (THEORY.md
+// §15).
+
+package extsort
+
+import (
+	"context"
+	"time"
+)
+
+// outBlockKeys is the merged-output block size: the granularity of
+// Writer.Write calls, context checks, and intermediate segment writes.
+const outBlockKeys = 4096
+
+// mergeRuns merges every run in the store into dst, in as many passes
+// as the fan-in demands.
+func mergeRuns(ctx context.Context, store *runStore, dst Writer, cfg Config, stats *Stats, met *metrics) error {
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0).Nanoseconds()
+		stats.MergeNs += d
+		if met != nil {
+			met.mergeNs.Observe(d)
+		}
+	}()
+
+	handles := store.runs
+	if len(handles) == 0 {
+		return nil // empty input: nothing to write
+	}
+	// Intermediate passes: groups of FanIn runs merge into spill
+	// segments until one final merge fits the fan-in.
+	for len(handles) > cfg.FanIn {
+		next := make([]runHandle, 0, (len(handles)+cfg.FanIn-1)/cfg.FanIn)
+		for lo := 0; lo < len(handles); lo += cfg.FanIn {
+			hi := lo + cfg.FanIn
+			if hi > len(handles) {
+				hi = len(handles)
+			}
+			group := handles[lo:hi]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			merged, err := mergeToSpill(ctx, store, group, stats, met)
+			if err != nil {
+				return err
+			}
+			next = append(next, merged)
+		}
+		handles = next
+		stats.MergePasses++
+	}
+	// Final pass: fan the surviving runs into the sink.
+	stats.MergePasses++
+	observeFanIn(len(handles), stats, met)
+	lt := newLoserTree(streamsFor(store, handles))
+	block := make([]Key, 0, outBlockKeys)
+	for {
+		k, ok := lt.pop()
+		if !ok {
+			break
+		}
+		block = append(block, k)
+		if len(block) == outBlockKeys {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := dst.Write(block); err != nil {
+				return err
+			}
+			block = block[:0]
+		}
+	}
+	if err := lt.fail(); err != nil {
+		return err
+	}
+	if len(block) > 0 {
+		if err := dst.Write(block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeToSpill merges one group of runs into a new spill segment,
+// releasing the group's residency as it drains.
+func mergeToSpill(ctx context.Context, store *runStore, group []runHandle, stats *Stats, met *metrics) (runHandle, error) {
+	observeFanIn(len(group), stats, met)
+	lt := newLoserTree(streamsFor(store, group))
+	w, err := store.beginSegment()
+	if err != nil {
+		return runHandle{}, err
+	}
+	block := make([]Key, 0, outBlockKeys)
+	for {
+		k, ok := lt.pop()
+		if !ok {
+			break
+		}
+		block = append(block, k)
+		if len(block) == outBlockKeys {
+			if err := ctx.Err(); err != nil {
+				return runHandle{}, err
+			}
+			if err := w.write(block); err != nil {
+				return runHandle{}, err
+			}
+			block = block[:0]
+		}
+	}
+	if err := lt.fail(); err != nil {
+		return runHandle{}, err
+	}
+	if err := w.write(block); err != nil {
+		return runHandle{}, err
+	}
+	merged, err := w.finish()
+	if err != nil {
+		return runHandle{}, err
+	}
+	for _, h := range group {
+		store.release(h)
+	}
+	return merged, nil
+}
+
+// streamsFor opens a cursor per handle.
+func streamsFor(store *runStore, handles []runHandle) []keyStream {
+	streams := make([]keyStream, len(handles))
+	for i, h := range handles {
+		streams[i] = store.stream(h)
+	}
+	return streams
+}
+
+// observeFanIn records one realized merge width.
+func observeFanIn(k int, stats *Stats, met *metrics) {
+	if k > stats.MaxFanIn {
+		stats.MaxFanIn = k
+	}
+	if met != nil {
+		met.fanIn.Observe(int64(k))
+	}
+}
+
+// loserTree is the tournament the merge runs. Leaves are streams
+// (padded to a power of two with exhausted dummies); internal node j
+// holds the loser of the match played there, and the overall winner
+// rides in a register. Ties break toward the lower stream index, so
+// the merge is deterministic for any input.
+type loserTree struct {
+	k       int // padded leaf count, power of two
+	n       int // real stream count
+	winner  int
+	tree    []int // internal nodes 1..k-1; tree[j] = loser at j
+	heads   []Key
+	done    []bool
+	streams []keyStream
+}
+
+// newLoserTree builds the tournament and plays the initial matches.
+func newLoserTree(streams []keyStream) *loserTree {
+	n := len(streams)
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	lt := &loserTree{
+		k:       k,
+		n:       n,
+		tree:    make([]int, k),
+		heads:   make([]Key, k),
+		done:    make([]bool, k),
+		streams: streams,
+	}
+	for i := 0; i < k; i++ {
+		if i < n {
+			if head, ok := streams[i].next(); ok {
+				lt.heads[i] = head
+				continue
+			}
+		}
+		lt.done[i] = true
+	}
+	// Play the full bracket bottom-up: win[j] is the winner of the
+	// subtree at internal node j, tree[j] the loser of its match.
+	win := make([]int, k)
+	winnerOf := func(m int) int {
+		if m >= k {
+			return m - k
+		}
+		return win[m]
+	}
+	for j := k - 1; j >= 1; j-- {
+		a, b := winnerOf(2*j), winnerOf(2*j+1)
+		if lt.beats(b, a) {
+			a, b = b, a
+		}
+		win[j] = a
+		lt.tree[j] = b
+	}
+	if k == 1 {
+		lt.winner = 0
+	} else {
+		lt.winner = win[1]
+	}
+	return lt
+}
+
+// beats reports whether stream a's head wins against stream b's:
+// exhausted streams always lose, equal keys go to the lower index.
+func (lt *loserTree) beats(a, b int) bool {
+	switch {
+	case lt.done[a]:
+		return false
+	case lt.done[b]:
+		return true
+	case lt.heads[a] != lt.heads[b]:
+		return lt.heads[a] < lt.heads[b]
+	default:
+		return a < b
+	}
+}
+
+// pop emits the minimum head and reseats the winner's replacement along
+// its root path — the ⌈log₂ k⌉-compare cascade.
+func (lt *loserTree) pop() (Key, bool) {
+	w := lt.winner
+	if lt.done[w] {
+		return 0, false
+	}
+	out := lt.heads[w]
+	if head, ok := lt.streams[w].next(); ok {
+		lt.heads[w] = head
+	} else {
+		lt.done[w] = true
+	}
+	for j := (w + lt.k) / 2; j >= 1; j /= 2 {
+		if lt.beats(lt.tree[j], w) {
+			lt.tree[j], w = w, lt.tree[j]
+		}
+	}
+	lt.winner = w
+	return out, true
+}
+
+// fail surfaces the first stream read error, distinguishing a failed
+// spill read from a cleanly exhausted merge.
+func (lt *loserTree) fail() error {
+	for _, s := range lt.streams {
+		if err := s.fail(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

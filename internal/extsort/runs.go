@@ -1,0 +1,283 @@
+// Run storage: sorted runs live in memory up to the resident-key
+// budget; beyond it they spill to one temp file as contiguous
+// fixed-width segments (8 bytes per key, little endian). A single file
+// holds every spilled run — sequential appends on the write side,
+// positional buffered reads on the merge side — so a ten-thousand-run
+// input costs one descriptor, not ten thousand.
+
+package extsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// spillBufKeys is the per-stream read buffer and the spill write
+// granularity, in keys (4096 keys = 32 KiB).
+const spillBufKeys = 4096
+
+// keyBytes is the on-disk key width.
+const keyBytes = 8
+
+// runHandle is one sorted run: resident (mem != nil) or a spill-file
+// segment [off, off+count·keyBytes).
+type runHandle struct {
+	mem   []Key
+	off   int64
+	count int
+}
+
+// runStore owns the resident budget and the spill file.
+type runStore struct {
+	dir      string
+	budget   int // MemoryKeys
+	resident int
+	runs     []runHandle
+
+	file    *os.File
+	fileEnd int64
+	wbuf    []byte // spill encode buffer, spillBufKeys wide
+
+	stats *Stats
+	met   *metrics
+}
+
+func newRunStore(dir string, budget int, stats *Stats, met *metrics) *runStore {
+	return &runStore{dir: dir, budget: budget, stats: stats, met: met}
+}
+
+// add takes ownership of one sorted run, keeping it resident when the
+// budget allows and spilling it otherwise.
+func (st *runStore) add(run []Key) error {
+	if st.resident+len(run) <= st.budget {
+		st.resident += len(run)
+		st.runs = append(st.runs, runHandle{mem: run})
+		return nil
+	}
+	h, err := st.spill(run)
+	if err != nil {
+		return err
+	}
+	st.runs = append(st.runs, h)
+	return nil
+}
+
+// ensureFile lazily creates the spill file.
+func (st *runStore) ensureFile() error {
+	if st.file != nil {
+		return nil
+	}
+	dir := st.dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "extsort-spill-*")
+	if err != nil {
+		return fmt.Errorf("extsort: creating spill file: %w", err)
+	}
+	// Unlinking immediately keeps the cleanup contract trivial: the
+	// segments stay readable through the descriptor, and the kernel
+	// reclaims the space the moment the descriptor closes — even if
+	// the process dies mid-sort.
+	if err := os.Remove(f.Name()); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: unlinking spill file: %w", err)
+	}
+	st.file = f
+	st.wbuf = make([]byte, spillBufKeys*keyBytes)
+	return nil
+}
+
+// spill appends run to the spill file and returns its segment handle.
+func (st *runStore) spill(run []Key) (runHandle, error) {
+	w, err := st.beginSegment()
+	if err != nil {
+		return runHandle{}, err
+	}
+	if err := w.write(run); err != nil {
+		return runHandle{}, err
+	}
+	return w.finish()
+}
+
+// segmentWriter streams one run (or one intermediate merged run) into
+// the spill file through the store's encode buffer.
+type segmentWriter struct {
+	st    *runStore
+	off   int64
+	count int
+	fill  int // keys buffered in st.wbuf
+}
+
+// beginSegment opens a writer at the current end of the spill file.
+// Segments are written one at a time (the pipeline is sequential), so
+// the single encode buffer is safe to share.
+func (st *runStore) beginSegment() (*segmentWriter, error) {
+	if err := st.ensureFile(); err != nil {
+		return nil, err
+	}
+	return &segmentWriter{st: st, off: st.fileEnd}, nil
+}
+
+// write appends keys to the segment.
+func (w *segmentWriter) write(keys []Key) error {
+	st := w.st
+	for len(keys) > 0 {
+		space := spillBufKeys - w.fill
+		if space == 0 {
+			if err := w.flush(); err != nil {
+				return err
+			}
+			space = spillBufKeys
+		}
+		if space > len(keys) {
+			space = len(keys)
+		}
+		base := w.fill * keyBytes
+		for i, k := range keys[:space] {
+			binary.LittleEndian.PutUint64(st.wbuf[base+i*keyBytes:], uint64(k))
+		}
+		w.fill += space
+		w.count += space
+		keys = keys[space:]
+	}
+	return nil
+}
+
+// flush writes the buffered keys to the file.
+func (w *segmentWriter) flush() error {
+	if w.fill == 0 {
+		return nil
+	}
+	st := w.st
+	if _, err := st.file.WriteAt(st.wbuf[:w.fill*keyBytes], st.fileEnd); err != nil {
+		return fmt.Errorf("extsort: spill write: %w", err)
+	}
+	st.fileEnd += int64(w.fill * keyBytes)
+	w.fill = 0
+	return nil
+}
+
+// finish flushes, accounts the spill, and returns the segment handle.
+func (w *segmentWriter) finish() (runHandle, error) {
+	if err := w.flush(); err != nil {
+		return runHandle{}, err
+	}
+	st := w.st
+	bytes := int64(w.count) * keyBytes
+	st.stats.SpilledRuns++
+	st.stats.SpilledBytes += bytes
+	if st.met != nil {
+		st.met.spillRuns.Inc()
+		st.met.spillBytes.Add(bytes)
+	}
+	return runHandle{off: w.off, count: w.count}, nil
+}
+
+// release returns a consumed handle's residency to the budget.
+func (st *runStore) release(h runHandle) {
+	if h.mem != nil {
+		st.resident -= len(h.mem)
+	}
+}
+
+// close releases the spill file (and with it, by the unlink above, the
+// disk space). Safe to call when nothing ever spilled, and idempotent.
+func (st *runStore) close() {
+	if st.file != nil {
+		st.file.Close()
+		st.file = nil
+	}
+}
+
+// stream opens a cursor over one run.
+func (st *runStore) stream(h runHandle) keyStream {
+	if h.mem != nil {
+		return &memStream{keys: h.mem}
+	}
+	return &spillStream{
+		file:      st.file,
+		off:       h.off,
+		remaining: h.count,
+		buf:       make([]Key, 0, spillBufKeys),
+		raw:       make([]byte, spillBufKeys*keyBytes),
+	}
+}
+
+// keyStream is a pull cursor over one sorted run.
+type keyStream interface {
+	// next returns the stream's head and advances; ok=false at the end
+	// — or on a read error, which fail() then reports, so an exhausted
+	// stream is never conflated with a failed one.
+	next() (Key, bool)
+	// fail returns the first read error, nil on a clean stream.
+	fail() error
+}
+
+// memStream cursors a resident run.
+type memStream struct {
+	keys []Key
+	pos  int
+}
+
+func (s *memStream) next() (Key, bool) {
+	if s.pos == len(s.keys) {
+		return 0, false
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, true
+}
+
+func (s *memStream) fail() error { return nil }
+
+// spillStream cursors a spill segment through a positional read buffer;
+// multiple spill streams share the file descriptor safely because every
+// read is an offset ReadAt.
+type spillStream struct {
+	file      *os.File
+	off       int64
+	remaining int
+	buf       []Key
+	raw       []byte
+	pos       int
+	err       error
+}
+
+func (s *spillStream) fail() error { return s.err }
+
+func (s *spillStream) next() (Key, bool) {
+	if s.pos == len(s.buf) {
+		if !s.refill() {
+			return 0, false
+		}
+	}
+	k := s.buf[s.pos]
+	s.pos++
+	return k, true
+}
+
+// refill reads the next block of the segment.
+func (s *spillStream) refill() bool {
+	if s.remaining == 0 || s.err != nil {
+		return false
+	}
+	n := spillBufKeys
+	if n > s.remaining {
+		n = s.remaining
+	}
+	raw := s.raw[:n*keyBytes]
+	if _, err := s.file.ReadAt(raw, s.off); err != nil {
+		s.err = fmt.Errorf("extsort: spill read: %w", err)
+		return false
+	}
+	s.buf = s.buf[:n]
+	for i := range s.buf {
+		s.buf[i] = Key(binary.LittleEndian.Uint64(raw[i*keyBytes:]))
+	}
+	s.off += int64(n * keyBytes)
+	s.remaining -= n
+	s.pos = 0
+	return true
+}

@@ -151,6 +151,11 @@ func (p *Program) Clock() simnet.Clock { return p.clock }
 // Rounds returns the total parallel round charge of one replay.
 func (p *Program) Rounds() int { return p.clock.Rounds }
 
+// Nodes returns the network's processor count — the largest key set one
+// replay of the program can sort, and therefore the run-size ceiling of
+// any tier (batch replay, streaming run formation) built on top of it.
+func (p *Program) Nodes() int { return p.net.Nodes() }
+
 // SnakePerm returns the snake-to-node transpose table (perm[pos] is the
 // node id holding snake position pos), built once per program and shared
 // by every batch replay. Read only.

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"productsort/internal/extsort"
+	"productsort/internal/graph"
+	"productsort/internal/product"
+)
+
+// streamServer builds a small server whose largest network (64 nodes)
+// is far below the streamed input, with a deliberately shallow queue so
+// the run lane's backoff path gets exercised.
+func streamServer(t *testing.T, queueDepth int) *Server {
+	t.Helper()
+	nets := []*product.Network{
+		product.MustNew(graph.K2(), 4), // 16
+		product.MustNew(graph.K2(), 6), // 64
+	}
+	pl, err := NewPlanner(nets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Planner:    pl,
+		QueueDepth: queueDepth,
+		MaxLinger:  200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	return s
+}
+
+// TestSubmitStreamSortsBeyondMaxKeys: a stream two hundred times the
+// largest serving network sorts correctly — the lane the point API
+// rejects with ErrTooLarge.
+func TestSubmitStreamSortsBeyondMaxKeys(t *testing.T) {
+	s := streamServer(t, 1024)
+	rng := rand.New(rand.NewSource(31))
+	keys := make([]Key, 200*s.MaxKeys()+17)
+	for i := range keys {
+		keys[i] = Key(rng.Int63() - 1<<62)
+	}
+	out := extsort.NewSliceWriter()
+	stats, err := s.SubmitStream(context.Background(), extsort.NewSliceReader(keys), out, StreamConfig{FanIn: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RunSize > s.MaxKeys() {
+		t.Fatalf("run size %d exceeds MaxKeys %d", stats.RunSize, s.MaxKeys())
+	}
+	if stats.Keys != int64(len(keys)) {
+		t.Fatalf("stats.Keys = %d, want %d", stats.Keys, len(keys))
+	}
+	got := out.Keys()
+	want := append([]Key(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSubmitStreamBacksOffInsteadOfShedding: with a queue depth of one
+// and many runs in flight, ErrQueueFull must stay inside the lane —
+// absorbed by resubmission — and never surface to the stream caller.
+func TestSubmitStreamBacksOffInsteadOfShedding(t *testing.T) {
+	s := streamServer(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]Key, 40*s.MaxKeys())
+	for i := range keys {
+		keys[i] = Key(rng.Int63())
+	}
+	out := extsort.NewSliceWriter()
+	stats, err := s.SubmitStream(context.Background(), extsort.NewSliceReader(keys), out, StreamConfig{
+		RunBatch: 8, // 8 concurrent runs against a depth-1 bucket: guaranteed contention
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(out.Keys())); got != stats.Keys || got != int64(len(keys)) {
+		t.Fatalf("output %d keys, stats %d, want %d", got, stats.Keys, len(keys))
+	}
+	if !sort.SliceIsSorted(out.Keys(), func(i, j int) bool { return out.Keys()[i] < out.Keys()[j] }) {
+		t.Fatal("stream output unsorted")
+	}
+	if s.met.Counter("serve.stream.queue_retries").Value() == 0 {
+		t.Fatal("depth-1 queue produced no retries: the backoff path was not exercised")
+	}
+	// Every run must have completed despite the contention: queue-full
+	// was absorbed by resubmission, never surfaced as a lost run.
+	if stats.Runs != int64(len(keys))/int64(stats.RunSize) {
+		t.Fatalf("runs %d, want %d", stats.Runs, len(keys)/stats.RunSize)
+	}
+}
+
+// TestSubmitStreamRunSizeTooLarge: a run size beyond the largest
+// serving network is a config error, typed and immediate.
+func TestSubmitStreamRunSizeTooLarge(t *testing.T) {
+	s := streamServer(t, 16)
+	_, err := s.SubmitStream(context.Background(),
+		extsort.NewSliceReader([]Key{1, 2}), extsort.NewSliceWriter(),
+		StreamConfig{RunSize: s.MaxKeys() + 1})
+	var ce *extsort.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *extsort.ConfigError", err)
+	}
+}
+
+// TestSubmitStreamClosedServer: a sealed server fails the stream with
+// the typed closed error rather than hanging the retry loop.
+func TestSubmitStreamClosedServer(t *testing.T) {
+	s := streamServer(t, 16)
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, 100)
+	_, err := s.SubmitStream(context.Background(),
+		extsort.NewSliceReader(keys), extsort.NewSliceWriter(), StreamConfig{})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
