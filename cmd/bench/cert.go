@@ -14,6 +14,7 @@ import (
 type certEntry struct {
 	Network     string  `json:"network"`
 	Engine      string  `json:"engine"`
+	Family      string  `json:"family"`
 	Nodes       int     `json:"nodes"`
 	Mode        string  `json:"mode"` // "exhaustive" or "sampled"
 	Certified   bool    `json:"certified"`
@@ -40,11 +41,18 @@ type certTarget struct {
 	build func() (*productsort.Network, error)
 }
 
+// emittedCertTarget is one emitted-family network to certify.
+type emittedCertTarget struct {
+	family string
+	size   int
+}
+
 // runCertBench certifies every built-in factor family / engine
-// combination: exhaustively for networks of at most maxKeys keys, by
-// seeded sampling for a set of larger representatives. Any
-// non-certified exhaustive run (or sampled counterexample) fails the
-// invocation — this is the `make cert` CI gate.
+// combination plus the emitted network families: exhaustively for
+// networks of at most maxKeys keys, by seeded sampling for a set of
+// larger representatives. Any non-certified exhaustive run (or sampled
+// counterexample) fails the invocation — this is the `make cert` CI
+// gate, so an uncertified emitted program can never ship.
 func runCertBench(path string, maxKeys, sample, workers int) error {
 	if maxKeys < 4 {
 		return fmt.Errorf("cert bench: -certmax %d < 4", maxKeys)
@@ -67,6 +75,16 @@ func runCertBench(path string, maxKeys, sample, workers int) error {
 		{func() (*productsort.Network, error) { return productsort.PetersenCube(2) }},
 		{func() (*productsort.Network, error) { return productsort.MeshConnectedTrees(3, 2) }},
 	}
+	emittedExhaustive := []emittedCertTarget{
+		{productsort.FamilyMultiway, 8},
+		{productsort.FamilyMultiway, 16},
+		{productsort.FamilyPeriodic, 8},
+		{productsort.FamilyPeriodic, 16},
+	}
+	emittedSampled := []emittedCertTarget{
+		{productsort.FamilyMultiway, 64},
+		{productsort.FamilyPeriodic, 64},
+	}
 
 	report := certReport{
 		Generated:         time.Now().UTC().Format(time.RFC3339),
@@ -74,18 +92,10 @@ func runCertBench(path string, maxKeys, sample, workers int) error {
 		SampleVectors:     sample,
 	}
 	table := stats.NewTable("Certification: bitsliced 0-1 proof per (network, engine)",
-		"network", "engine", "keys", "mode", "vectors", "comparators", "dead", "verdict", "wall")
+		"network", "family", "engine", "keys", "mode", "vectors", "comparators", "dead", "verdict", "wall")
 	failures := 0
 
-	run := func(nw *productsort.Network, engine string, forceSampled bool) error {
-		s, err := productsort.NewSorter(productsort.WithEngine(engine))
-		if err != nil {
-			return err
-		}
-		c, err := s.Compile(nw)
-		if err != nil {
-			return err
-		}
+	record := func(c *productsort.CompiledNetwork, name, engine string, nodes int, forceSampled bool) error {
 		crt, err := c.Certify(&productsort.CertifyOptions{
 			Workers:           workers,
 			MaxExhaustiveKeys: maxKeys,
@@ -101,7 +111,7 @@ func runCertBench(path string, maxKeys, sample, workers int) error {
 			mode = "exhaustive"
 		}
 		e := certEntry{
-			Network: nw.Name(), Engine: engine, Nodes: nw.Nodes(), Mode: mode,
+			Network: name, Engine: engine, Family: c.Family(), Nodes: nodes, Mode: mode,
 			Certified: crt.Certified, Vectors: crt.Vectors, Words: crt.Words,
 			WordOps: crt.WordOps, Ops: crt.Ops, Comparators: crt.Comparators,
 			Dead:      len(crt.Dead),
@@ -119,9 +129,34 @@ func runCertBench(path string, maxKeys, sample, workers int) error {
 			}
 		}
 		report.Entries = append(report.Entries, e)
-		table.Add(nw.Name(), engine, nw.Nodes(), mode, e.Vectors, e.Comparators, e.Dead,
+		table.Add(name, e.Family, engine, nodes, mode, e.Vectors, e.Comparators, e.Dead,
 			verdict, fmt.Sprintf("%.1fms", e.ElapsedMs))
 		return nil
+	}
+
+	run := func(nw *productsort.Network, engine string, forceSampled bool) error {
+		s, err := productsort.NewSorter(productsort.WithEngine(engine))
+		if err != nil {
+			return err
+		}
+		c, err := s.Compile(nw)
+		if err != nil {
+			return err
+		}
+		return record(c, nw.Name(), engine, nw.Nodes(), forceSampled)
+	}
+
+	runEmitted := func(tgt emittedCertTarget, forceSampled bool) error {
+		c, err := productsort.CompileFamily(tgt.family, tgt.size)
+		if err != nil {
+			return err
+		}
+		engine := "periodic"
+		if tgt.family == productsort.FamilyMultiway {
+			engine = fmt.Sprintf("multiway%d", productsort.MultiwaySorterWidth)
+		}
+		name := fmt.Sprintf("%s[%d]", engine, tgt.size)
+		return record(c, name, engine, tgt.size, forceSampled)
 	}
 
 	for _, tgt := range exhaustiveTargets {
@@ -149,6 +184,19 @@ func runCertBench(path string, maxKeys, sample, workers int) error {
 		}
 		if err := run(nw, "auto", true); err != nil {
 			return fmt.Errorf("cert bench: %s/auto: %w", nw.Name(), err)
+		}
+	}
+	for _, tgt := range emittedExhaustive {
+		if tgt.size > maxKeys {
+			continue
+		}
+		if err := runEmitted(tgt, false); err != nil {
+			return fmt.Errorf("cert bench: %s[%d]: %w", tgt.family, tgt.size, err)
+		}
+	}
+	for _, tgt := range emittedSampled {
+		if err := runEmitted(tgt, true); err != nil {
+			return fmt.Errorf("cert bench: %s[%d]: %w", tgt.family, tgt.size, err)
 		}
 	}
 

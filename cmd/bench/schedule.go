@@ -9,12 +9,15 @@ import (
 	"productsort/internal/graph"
 	"productsort/internal/product"
 	"productsort/internal/schedule"
+	"productsort/internal/serve"
+	"productsort/internal/sort2d"
 	"productsort/internal/workload"
 )
 
 // scheduleEntry is one topology's cold-vs-warm measurement.
 type scheduleEntry struct {
 	Network string `json:"network"`
+	Family  string `json:"family"`
 	Nodes   int    `json:"nodes"`
 	Rounds  int    `json:"rounds"`
 	// ColdNs is the wall-clock of compile + one sort with an empty cache
@@ -36,12 +39,49 @@ type scheduleEntry struct {
 	ColSpeedup float64 `json:"colSpeedup"`
 }
 
+// familyEntry is one cell of the cross-family head-to-head: the same
+// request size served by the product, multiway and periodic
+// constructions, measured on the axes the serve planner and the CI
+// gate care about.
+type familyEntry struct {
+	Family      string `json:"family"`
+	Network     string `json:"network"`
+	Nodes       int    `json:"nodes"`
+	Rounds      int    `json:"rounds"`
+	Comparators int    `json:"comparators"`
+	// CertMode and CertifiedMs record the certification run (exhaustive
+	// proof inside the envelope, seeded sample above it) and its wall
+	// time.
+	CertMode    string  `json:"certMode"`
+	CertifiedMs float64 `json:"certifiedMs"`
+	// ColsPerSetNs is the columnar batch kernel's per-set replay time —
+	// the emitted families run through the exact same kernel as the
+	// product programs.
+	ColsPerSetNs int64 `json:"colsPerSetNs"`
+}
+
+// plannerPick records which family the cross-family serve planner
+// selects for one request size.
+type plannerPick struct {
+	RequestKeys int    `json:"requestKeys"`
+	Family      string `json:"family"`
+	Network     string `json:"network"`
+	Rounds      int    `json:"rounds"`
+}
+
 // scheduleReport is the BENCH_schedule.json document.
 type scheduleReport struct {
 	Generated string          `json:"generated"`
 	Sets      int             `json:"sets"`
 	Workers   int             `json:"workers"`
 	Entries   []scheduleEntry `json:"entries"`
+	// Families is the product-vs-multiway-vs-periodic head-to-head at a
+	// spread of power-of-two sizes.
+	Families []familyEntry `json:"families"`
+	// PlannerSelections shows which family a mixed-candidate serve
+	// planner picks per request size; the bench fails unless at least
+	// one non-product family wins somewhere.
+	PlannerSelections []plannerPick `json:"plannerSelections"`
 	// Compiles confirms the batch phase performed zero schedule
 	// constructions beyond the cold ones.
 	Compiles int64 `json:"compiles"`
@@ -140,6 +180,7 @@ func runScheduleBench(path string, sets, workers int) error {
 		perSet := warm.Nanoseconds() / int64(sets)
 		e := scheduleEntry{
 			Network:      nw.Name(),
+			Family:       productsort.FamilyProduct,
 			Nodes:        nw.Nodes(),
 			Rounds:       c.Rounds(),
 			ColdNs:       cold.Nanoseconds(),
@@ -164,11 +205,141 @@ func runScheduleBench(path string, sets, workers int) error {
 	}
 	report.Compiles = schedule.Stats().Compiles
 
+	fams, err := familyHeadToHead(sets, gen)
+	if err != nil {
+		return err
+	}
+	report.Families = fams
+	picks, err := plannerSelections()
+	if err != nil {
+		return err
+	}
+	report.PlannerSelections = picks
+
 	if err := writeJSONArtifact(path, report); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d sets, %d workers)\n", path, sets, workers)
 	return nil
+}
+
+// familyHeadToHead races the three constructions at the same sizes:
+// rounds and comparator counts from the compiled programs, certified
+// wall time from the bitsliced prover, and per-set columnar replay time
+// through the shared batch kernel.
+func familyHeadToHead(sets int, gen workload.Gen) ([]familyEntry, error) {
+	families := []string{productsort.FamilyProduct, productsort.FamilyMultiway, productsort.FamilyPeriodic}
+	var out []familyEntry
+	for _, size := range []int{16, 64} {
+		for _, family := range families {
+			c, err := productsort.CompileFamily(family, size)
+			if err != nil {
+				return nil, fmt.Errorf("family head-to-head: %s[%d]: %w", family, size, err)
+			}
+			crt, err := c.Certify(&productsort.CertifyOptions{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			if !crt.Certified {
+				return nil, fmt.Errorf("family head-to-head: %s[%d] failed certification: %+v",
+					family, size, crt.Witness)
+			}
+			mode := "sampled"
+			if crt.Exhaustive {
+				mode = "exhaustive"
+			}
+
+			batch := make([][]productsort.Key, sets)
+			for i := range batch {
+				batch[i] = gen(size, int64(i)+300)
+			}
+			var cols time.Duration
+			for rep := 0; rep < 3; rep++ {
+				for i := range batch {
+					copy(batch[i], gen(size, int64(i)+300))
+				}
+				start := time.Now()
+				if err := c.SortBatch(batch, 1); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); rep == 0 || d < cols {
+					cols = d
+				}
+			}
+			for i, set := range batch {
+				if !productsort.IsSorted(set) {
+					return nil, fmt.Errorf("family head-to-head: %s[%d] set %d not sorted", family, size, i)
+				}
+			}
+
+			name := c.Network().Name()
+			switch family {
+			case productsort.FamilyMultiway:
+				name = fmt.Sprintf("multiway%d[%d]", productsort.MultiwaySorterWidth, size)
+			case productsort.FamilyPeriodic:
+				name = fmt.Sprintf("periodic[%d]", size)
+			}
+			e := familyEntry{
+				Family:       family,
+				Network:      name,
+				Nodes:        size,
+				Rounds:       c.Rounds(),
+				Comparators:  c.Size(),
+				CertMode:     mode,
+				CertifiedMs:  float64(crt.Elapsed) / float64(time.Millisecond),
+				ColsPerSetNs: cols.Nanoseconds() / int64(sets),
+			}
+			out = append(out, e)
+			fmt.Printf("family %-9s n=%-4d net=%-14s rounds=%-4d comparators=%-6d cert=%-10s %-8.1fms cols/set=%v\n",
+				family, size, e.Network, e.Rounds, e.Comparators, mode, e.CertifiedMs,
+				time.Duration(e.ColsPerSetNs))
+		}
+	}
+	return out, nil
+}
+
+// plannerSelections builds the mixed-family serve planner (hypercubes
+// plus both emitted families up to 64 keys) and records its pick per
+// request size. At least one non-product selection is required — the
+// cross-family planner existing is only worth shipping if it ever
+// disagrees with the product-only one.
+func plannerSelections() ([]plannerPick, error) {
+	var cands []serve.Candidate
+	for r := 1; r <= 6; r++ {
+		cands = append(cands, serve.Candidate{Net: product.MustNew(graph.K2(), r)})
+	}
+	fam, err := serve.FamilyCandidates(
+		[]string{productsort.FamilyMultiway, productsort.FamilyPeriodic}, 64)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sort2d.ByName("auto")
+	if err != nil {
+		return nil, err
+	}
+	pl, err := serve.NewPlannerCandidates(append(cands, fam...), engine)
+	if err != nil {
+		return nil, err
+	}
+	var picks []plannerPick
+	nonProduct := 0
+	for _, n := range []int{2, 4, 8, 16, 24, 32, 64} {
+		plan, err := pl.For(n)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Family != productsort.FamilyProduct {
+			nonProduct++
+		}
+		picks = append(picks, plannerPick{
+			RequestKeys: n, Family: plan.Family, Network: plan.Name(), Rounds: plan.Rounds,
+		})
+		fmt.Printf("planner n=%-4d -> %-9s %-14s rounds=%d\n", n, plan.Family, plan.Name(), plan.Rounds)
+	}
+	if nonProduct == 0 {
+		return nil, fmt.Errorf("planner selections: no request size picked a non-product family")
+	}
+	return picks, nil
 }
 
 // rowsVsColumns times the same full-size batch through the row-at-a-

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"productsort"
+	"productsort/internal/workload"
+)
+
+// TestFamilyHeadToHead drives the cross-family bench cells end to end
+// and checks the rows the artifact publishes: all three families at
+// each size, everything certified (the helper errors otherwise), and
+// the round ordering the planner tests pin — periodic < multiway <
+// product at 64 keys.
+func TestFamilyHeadToHead(t *testing.T) {
+	gen, err := workload.ByName("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := familyHeadToHead(4, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 6 {
+		t.Fatalf("got %d family rows, want 6 (3 families x 2 sizes)", len(fams))
+	}
+	rounds := map[string]int{}
+	for _, e := range fams {
+		if e.Rounds < 1 || e.Comparators < 1 || e.ColsPerSetNs < 0 {
+			t.Fatalf("degenerate row: %+v", e)
+		}
+		if e.Nodes == 64 {
+			rounds[e.Family] = e.Rounds
+		}
+		if e.Nodes == 16 && e.CertMode != "exhaustive" {
+			t.Fatalf("%s[16] certified %s, want exhaustive", e.Family, e.CertMode)
+		}
+	}
+	if !(rounds[productsort.FamilyPeriodic] < rounds[productsort.FamilyMultiway] &&
+		rounds[productsort.FamilyMultiway] < rounds[productsort.FamilyProduct]) {
+		t.Fatalf("round ordering at 64 keys: %v, want periodic < multiway < product", rounds)
+	}
+}
+
+// TestPlannerSelections checks the published pick table: every swept
+// request size has a pick, and the non-product gate the bench enforces
+// actually holds.
+func TestPlannerSelections(t *testing.T) {
+	picks, err := plannerSelections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 7 {
+		t.Fatalf("got %d picks, want 7", len(picks))
+	}
+	nonProduct := 0
+	for _, p := range picks {
+		if p.Rounds < 1 || p.Network == "" {
+			t.Fatalf("degenerate pick: %+v", p)
+		}
+		if p.Family != productsort.FamilyProduct {
+			nonProduct++
+		}
+	}
+	if nonProduct == 0 {
+		t.Fatal("no non-product selection (the helper should have errored)")
+	}
+}

@@ -1,0 +1,124 @@
+package multiway_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"productsort/internal/cert"
+	"productsort/internal/emit/multiway"
+	"productsort/internal/schedule"
+	"productsort/internal/simnet"
+)
+
+// TestEmitCertifiedExhaustively is the family's machine proof at the CI
+// envelope: every (lines, sorter) cell is certified over all 2^n 0-1
+// vectors.
+func TestEmitCertifiedExhaustively(t *testing.T) {
+	for _, s := range []int{2, 4, 8} {
+		for _, n := range []int{2, 4, 8, 16} {
+			prog, err := multiway.EmitN(n, s)
+			if err != nil {
+				t.Fatalf("EmitN(%d,%d): %v", n, s, err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("EmitN(%d,%d): %v", n, s, err)
+			}
+			res, err := cert.Exhaustive(prog, cert.Options{})
+			if err != nil {
+				t.Fatalf("EmitN(%d,%d): %v", n, s, err)
+			}
+			if !res.Certified {
+				t.Fatalf("EmitN(%d,%d) not certified; witness %v", n, s, res.Witness)
+			}
+		}
+	}
+}
+
+// TestEmitSampledLarge pushes past the exhaustive envelope: 64 lines
+// under the seeded random sweep, plus full random-key spot checks
+// against the standard library through the real replay backend.
+func TestEmitSampledLarge(t *testing.T) {
+	prog, err := multiway.Emit(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cert.Sampled(prog, cert.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("sampled 64-line multiway failed; witness %v", res.Witness)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		keys := make([]simnet.Key, 64)
+		for i := range keys {
+			keys[i] = simnet.Key(rng.Intn(1000))
+		}
+		want := append([]simnet.Key(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if _, err := (schedule.ExecBackend{}).Run(prog, keys); err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			// identity snake on the path host: node i == snake pos i
+			if keys[i] != want[i] {
+				t.Fatalf("trial %d: pos %d = %d, want %d", trial, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRoundsMatchesProgram pins the planner's cost predictor to the
+// emitted reality.
+func TestRoundsMatchesProgram(t *testing.T) {
+	for _, s := range []int{2, 4, 8} {
+		for _, n := range []int{2, 4, 8, 16, 32, 64} {
+			prog, err := multiway.EmitN(n, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := prog.Rounds(), multiway.Rounds(n, s); got != want {
+				t.Fatalf("EmitN(%d,%d): program rounds %d, Rounds() predicts %d", n, s, got, want)
+			}
+		}
+	}
+}
+
+// TestSingleSorterBaseCase: at or below the sorter width the network is
+// exactly one Batcher-lowered primitive — 3 columns for the default
+// 4-sorter, which is what makes this family win small request sizes.
+func TestSingleSorterBaseCase(t *testing.T) {
+	prog, err := multiway.Emit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rounds() != 3 {
+		t.Fatalf("4-line multiway: %d rounds, want 3", prog.Rounds())
+	}
+	if prog.Engine() != "multiway4" {
+		t.Fatalf("engine %q", prog.Engine())
+	}
+	if prog.Signature() != multiway.Signature(4, 4) {
+		t.Fatalf("signature %q", prog.Signature())
+	}
+}
+
+// TestEmitRejectsBadShapes: both size and sorter width must be powers
+// of two (the interleaved merge recursion divides evenly at every
+// level), and the error must be typed at the API boundary, not a panic.
+func TestEmitRejectsBadShapes(t *testing.T) {
+	if _, err := multiway.Emit(12); err == nil {
+		t.Fatal("12 lines accepted")
+	}
+	if _, err := multiway.EmitN(16, 3); err == nil {
+		t.Fatal("3-sorter accepted")
+	}
+	if _, err := multiway.EmitN(16, 1); err == nil {
+		t.Fatal("1-sorter accepted")
+	}
+	if _, err := multiway.Emit(0); err == nil {
+		t.Fatal("0 lines accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package periodic emits a constant-periodic sorting network into the
+// schedule IR: a fixed period of log N comparator columns whose replay
+// for log N passes sorts any input.
+//
+// The period is the balanced merging block of Dowd, Perl, Rudolph and
+// Saks (JACM 1989) — the construction that small-constant-periodic
+// merging networks (arXiv 1409.1749) refine: column j of the period
+// (1-based, blocks of size 2^(k-j+1)) compares the mirror pairs
+// (base+i, base+size-1-i) inside each block. One pass merges two sorted
+// halves in the periodic sense, and k = log2 N identical passes sort
+// arbitrary input — the DPRS theorem THEORY.md §16 restates. The
+// emitted program materializes all k passes (k² columns of N/2
+// comparators each), because the schedule IR prices replay per column;
+// the periodicity survives as pure structure, pinned by tests that
+// check every pass is column-for-column identical.
+package periodic
+
+import (
+	"fmt"
+
+	"productsort/internal/emit"
+	"productsort/internal/schedule"
+)
+
+// EngineName labels the emitted family in programs and bench artifacts.
+const EngineName = "periodic"
+
+// Signature returns the canonical signature of the emitted program.
+func Signature(lines int) string { return fmt.Sprintf("emit|periodic|n=%d", lines) }
+
+// Period returns the number of comparator columns in one periodic
+// block: log2(lines), the k of the DPRS construction.
+func Period(lines int) int {
+	k := 0
+	for n := lines; n > 1; n >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Passes returns how many period replays the emitted program performs:
+// log2(lines), the DPRS sorting bound.
+func Passes(lines int) int { return Period(lines) }
+
+// Rounds returns the column depth of Emit(lines) without building a
+// program: Period * Passes = log2(lines)².
+func Rounds(lines int) int { k := Period(lines); return k * k }
+
+// Emit builds the periodic balanced sorting network over lines keys.
+// lines must be a power of two.
+func Emit(lines int) (*schedule.Program, error) {
+	if lines < 2 || !emit.PowerOfTwo(lines) {
+		return nil, fmt.Errorf("periodic: %d lines: power of two >= 2 required", lines)
+	}
+	b := emit.NewBuilder(lines)
+	k := Period(lines)
+	col := 0
+	for pass := 0; pass < k; pass++ {
+		for j := 0; j < k; j++ {
+			blk := lines >> j // 2^(k-j)
+			for base := 0; base < lines; base += blk {
+				for i := 0; i < blk/2; i++ {
+					b.Add(col, base+i, base+blk-1-i)
+				}
+			}
+			col++
+		}
+	}
+	return b.Program(EngineName, Signature(lines))
+}

@@ -1,0 +1,29 @@
+// Entry point for emitter-built programs: network families that are not
+// constructed by the paper's generalized algorithm (internal/emit) but
+// still target the same IR, the same backends, and the same certifier.
+
+package schedule
+
+import "productsort/internal/product"
+
+// NewEmittedProgram assembles a program from an emitter's op list under
+// the caller's canonical signature. It is NewProgram with an explicit
+// signature: structure is validated, the replay clock is rebuilt from
+// the ops' recorded costs, and nothing touches the process-wide cache
+// (emitted families manage their own caching, e.g. the serve plan
+// store). The engine string names the emitting family ("multiway4",
+// "periodic", ...) so tracing and bench artifacts can attribute rounds
+// without a side channel.
+//
+// Emitters host their comparator columns on a 1-D path network
+// (product.New(graph.Path(n), 1)), whose snake rank is the identity —
+// node id and snake position coincide, so a program emitted in line
+// coordinates replays bit-identically through every node-indexed and
+// snake-indexed consumer (ExecBackend, RunBatchColumnar, cert.Run).
+func NewEmittedProgram(net *product.Network, engine, sig string, ops []Op) (*Program, error) {
+	p := &Program{net: net, engine: engine, sig: sig, ops: ops, clock: clockOf(ops)}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -39,6 +39,7 @@ type bucket struct {
 	colWidth  *obs.Histogram
 	flushes   *obs.Counter
 	shed      *obs.Counter
+	familyC   *obs.Counter // serve.planner.family.<family>, shared across same-family buckets
 }
 
 // newBucket wires a bucket's queue, limiter and per-bucket instruments
@@ -59,6 +60,7 @@ func newBucket(s *Server, plan *Plan) *bucket {
 		colWidth:  s.met.Histogram(prefix+".colwidth", BatchSizeBuckets),
 		flushes:   s.met.Counter(prefix + ".flushes"),
 		shed:      s.met.Counter(prefix + ".shed"),
+		familyC:   s.met.Counter("serve.planner.family." + plan.Family),
 	}
 }
 
@@ -184,7 +186,7 @@ func (b *bucket) runFlush(batch []*request) {
 	live := batch[:0]
 	for _, req := range batch {
 		if err := req.ctx.Err(); err != nil {
-			b.reply(req, Reply{Err: err, Network: b.plan.Name()})
+			b.reply(req, Reply{Err: err, Network: b.plan.Name(), Family: b.plan.Family})
 			continue
 		}
 		live = append(live, req)
@@ -198,7 +200,7 @@ func (b *bucket) runFlush(batch []*request) {
 	prog, pin, err := b.srv.store.Acquire(b.plan, b.srv.planner.Engine())
 	if err != nil {
 		for _, req := range live {
-			b.reply(req, Reply{Err: err, Network: b.plan.Name(), BatchSize: len(live)})
+			b.reply(req, Reply{Err: err, Network: b.plan.Name(), Family: b.plan.Family, BatchSize: len(live)})
 		}
 		return
 	}
@@ -213,17 +215,19 @@ func (b *bucket) runFlush(batch []*request) {
 	rounds := prog.Rounds()
 	pin.Release()
 	b.flushes.Inc()
+	b.familyC.Inc()
 	b.batchSize.Observe(int64(len(live)))
 	b.colWidth.Observe(int64(len(live)))
 	for _, req := range live {
 		if err != nil {
-			b.reply(req, Reply{Err: err, Network: b.plan.Name(), BatchSize: len(live)})
+			b.reply(req, Reply{Err: err, Network: b.plan.Name(), Family: b.plan.Family, BatchSize: len(live)})
 			continue
 		}
 		b.reply(req, Reply{
 			Keys:      req.keys,
 			Rounds:    rounds,
 			Network:   b.plan.Name(),
+			Family:    b.plan.Family,
 			BatchSize: len(live),
 		})
 	}

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"productsort/internal/core"
+	"productsort/internal/emit"
 	"productsort/internal/product"
 	"productsort/internal/schedule"
 	"productsort/internal/sort2d"
@@ -34,22 +35,70 @@ import (
 
 // Plan is one candidate network with its planner ranking key.
 type Plan struct {
-	// Net is the candidate product network.
+	// Net is the candidate's host network: the product network itself
+	// for FamilyProduct plans, the 1-D line host for emitted families.
 	Net *product.Network
-	// Rounds is Theorem 1's predicted parallel round count for the
-	// planner's engine — the cost a request pays regardless of how many
-	// batchmates share the flush, hence the ranking key.
+	// Rounds is the predicted parallel round count — Theorem 1's bound
+	// for product plans, the emitted column depth for emitted families.
+	// It is the cost a request pays regardless of how many batchmates
+	// share the flush, hence the ranking key.
 	Rounds int
+	// Family names the construction family that produced the plan
+	// ("product", "multiway", "periodic") — the serve-plan metadata
+	// mixed-family servers expose per reply and per flush counter.
+	Family string
 
-	sig string // schedule cache signature; the bucket and plan-store key
-	idx int    // position in the planner's sorted plans; the server's dense bucket index
+	name string // display name; Net.Name() for product plans
+	sig  string // schedule cache signature; the bucket and plan-store key
+	idx  int    // position in the planner's sorted plans; the server's dense bucket index
+
+	// emit builds the plan's program for emitted families; nil selects
+	// schedule.CompileUncached on Net (the product path).
+	emit func() (*schedule.Program, error)
 }
 
 // Nodes returns the plan's processor count: requests are padded to it.
 func (p *Plan) Nodes() int { return p.Net.Nodes() }
 
-// Name names the plan's network, e.g. "hypercube^4".
-func (p *Plan) Name() string { return p.Net.Name() }
+// Name names the plan's network, e.g. "hypercube^4" or "multiway4[16]".
+func (p *Plan) Name() string { return p.name }
+
+// compileProgram builds the plan's phase program: the emitter for
+// emitted families, the paper's generalized construction otherwise.
+// The plan store's compile seam routes through it.
+func (p *Plan) compileProgram(engine sort2d.Engine) (*schedule.Program, error) {
+	if p.emit != nil {
+		return p.emit()
+	}
+	return schedule.CompileUncached(p.Net, engine)
+}
+
+// Candidate is one network family member offered to the planner.
+// Product candidates carry just Net; emitted candidates carry the
+// family metadata plus an Emit constructor, because their cost and
+// signature are properties of the emitter, not of an engine.
+type Candidate struct {
+	// Net is the product network of a FamilyProduct candidate; nil for
+	// emitted families.
+	Net *product.Network
+	// Family names the construction family; defaults to FamilyProduct
+	// when Net is set.
+	Family string
+	// Name is the display name (bucket metrics, Reply.Network). Ignored
+	// for product candidates, which use Net.Name().
+	Name string
+	// Nodes is the emitted network's line count (product candidates
+	// derive it from Net).
+	Nodes int
+	// Rounds is the emitted network's column depth (product candidates
+	// are priced by core.PredictedRounds at planner build).
+	Rounds int
+	// Sig is the emitted program's canonical signature — the plan-store
+	// key (product candidates derive it from Net and the engine).
+	Sig string
+	// Emit builds the emitted program; nil for product candidates.
+	Emit func() (*schedule.Program, error)
+}
 
 // Planner maps a requested key count to the cheapest covering plan.
 type Planner struct {
@@ -58,26 +107,62 @@ type Planner struct {
 	best   []*Plan // best[i] = cheapest plan among plans[i:]
 }
 
-// NewPlanner ranks the candidate networks for the given S_2 engine (nil
-// selects sort2d.Auto). Candidates may overlap in size; the planner
-// picks, for every request size, the covering candidate with the fewest
-// predicted rounds, breaking ties toward fewer nodes then name.
+// NewPlanner ranks product-network candidates for the given S_2 engine
+// (nil selects sort2d.Auto). It is NewPlannerCandidates restricted to
+// the paper's own family, kept for the common single-family case.
 func NewPlanner(nets []*product.Network, engine sort2d.Engine) (*Planner, error) {
-	if len(nets) == 0 {
+	cands := make([]Candidate, len(nets))
+	for i, net := range nets {
+		cands[i] = Candidate{Net: net}
+	}
+	return NewPlannerCandidates(cands, engine)
+}
+
+// NewPlannerCandidates ranks candidates drawn from any mix of network
+// families for the given S_2 engine (nil selects sort2d.Auto; emitted
+// candidates ignore it). Candidates may overlap in size; the planner
+// picks, for every request size, the covering candidate with the
+// fewest predicted rounds, breaking ties toward fewer nodes then name —
+// so one server mixes families per size bucket wherever an emitted
+// frontier beats the product construction.
+func NewPlannerCandidates(cands []Candidate, engine sort2d.Engine) (*Planner, error) {
+	if len(cands) == 0 {
 		return nil, errors.New("serve: planner needs at least one candidate network")
 	}
 	if engine == nil {
 		engine = sort2d.Auto{}
 	}
-	plans := make([]*Plan, len(nets))
-	for i, net := range nets {
-		if net == nil {
+	plans := make([]*Plan, len(cands))
+	for i, c := range cands {
+		switch {
+		case c.Emit != nil:
+			if c.Family == "" || c.Family == emit.FamilyProduct {
+				return nil, fmt.Errorf("serve: emitted candidate %d needs a non-product family", i)
+			}
+			if c.Name == "" || c.Sig == "" || c.Nodes < 1 || c.Rounds < 1 {
+				return nil, fmt.Errorf("serve: emitted candidate %d (%s) incomplete", i, c.Family)
+			}
+			plans[i] = &Plan{
+				Net:    emit.Host(c.Nodes),
+				Rounds: c.Rounds,
+				Family: c.Family,
+				name:   c.Name,
+				sig:    c.Sig,
+				emit:   c.Emit,
+			}
+		case c.Net != nil:
+			if c.Family != "" && c.Family != emit.FamilyProduct {
+				return nil, fmt.Errorf("serve: candidate %d: family %q without an emitter", i, c.Family)
+			}
+			plans[i] = &Plan{
+				Net:    c.Net,
+				Rounds: core.PredictedRounds(c.Net, engine),
+				Family: emit.FamilyProduct,
+				name:   c.Net.Name(),
+				sig:    schedule.Signature(c.Net, engine.Name()),
+			}
+		default:
 			return nil, fmt.Errorf("serve: candidate %d is nil", i)
-		}
-		plans[i] = &Plan{
-			Net:    net,
-			Rounds: core.PredictedRounds(net, engine),
-			sig:    schedule.Signature(net, engine.Name()),
 		}
 	}
 	sort.Slice(plans, func(i, j int) bool {

@@ -63,6 +63,10 @@ type Reply struct {
 	Rounds int
 	// Network names the covering network the planner chose.
 	Network string
+	// Family names the construction family of the chosen network
+	// ("product", "multiway", "periodic") — the reply-side view of the
+	// planner's cross-family pick.
+	Family string
 	// BatchSize is the number of requests that shared the flush.
 	BatchSize int
 	// Wait is submit-to-reply wall time: queueing, lingering and the

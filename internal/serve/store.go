@@ -152,7 +152,7 @@ func newPlanStore(capacity, shards, stripes int, m *obs.Metrics) *PlanStore {
 		retries:   m.Counter("serve.planstore.retries"),
 	}
 	s.compile = func(p *Plan, e sort2d.Engine) (*schedule.Program, error) {
-		return schedule.CompileUncached(p.Net, e)
+		return p.compileProgram(e)
 	}
 	for i := range s.shards {
 		s.shards[i].slots = make([]storeSlot, per)

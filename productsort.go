@@ -336,6 +336,7 @@ type CompiledNetwork struct {
 	prog   *schedule.Program
 	exec   simnet.Executor
 	tracer obs.Tracer
+	family string // "" means FamilyProduct; see Family()
 }
 
 // Compile returns the network bound to its cached phase program for the

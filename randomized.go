@@ -90,6 +90,12 @@ type RandomizedReport struct {
 // On ErrRoundCap the Result reports the degraded partial state; any
 // other error is a configuration or verifier failure.
 func (c *CompiledNetwork) SortRandomized(keys []Key, cfg RandomizedConfig) (*Result, error) {
+	if f := c.Family(); f != FamilyProduct {
+		// The pairwise engine draws from the product network's edge
+		// distribution; on an emitted family's 1-D host that would be a
+		// different (and absurdly slower) algorithm, not this network.
+		return nil, fmt.Errorf("productsort: SortRandomized on %s network: %w", f, ErrUnsupportedFamily)
+	}
 	if len(keys) != c.nw.Nodes() {
 		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), c.nw.Nodes())
 	}

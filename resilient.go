@@ -177,6 +177,12 @@ type FaultReport struct {
 // recovery the keys-so-far and the report are returned alongside
 // ErrUnrecoverable.
 func (c *CompiledNetwork) SortResilient(keys []Key, cfg FaultConfig) (*Result, error) {
+	if f := c.Family(); f != FamilyProduct {
+		// Fault-plan geometry and dead-link rerouting are defined over
+		// product-network edges; emitted comparator columns pair
+		// arbitrary lines of a 1-D host.
+		return nil, fmt.Errorf("productsort: SortResilient on %s network: %w", f, ErrUnsupportedFamily)
+	}
 	if len(keys) != c.nw.Nodes() {
 		return nil, fmt.Errorf("productsort: %d keys for %d nodes", len(keys), c.nw.Nodes())
 	}

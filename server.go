@@ -18,7 +18,6 @@ import (
 	"errors"
 	"time"
 
-	"productsort/internal/product"
 	"productsort/internal/serve"
 	"productsort/internal/sort2d"
 )
@@ -54,6 +53,14 @@ type ServerConfig struct {
 	// those with at least n nodes. Empty selects
 	// DefaultServingNetworks(MaxKeys).
 	Networks []*Network
+	// Families adds emitted-network candidates (FamilyMultiway,
+	// FamilyPeriodic) at every power-of-two size up to the serving
+	// ceiling, competing with Networks on predicted rounds; the winning
+	// family is reported per reply (SortedReply.Family) and counted per
+	// flush (serve.planner.family.*). FamilyProduct is accepted and
+	// ignored — the product candidates are Networks. Empty adds nothing,
+	// preserving the product-only default.
+	Families []string
 	// Engine names the S_2 engine ("auto" when empty; see WithEngine).
 	Engine string
 	// MaxKeys sizes the default network set when Networks is empty
@@ -146,14 +153,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		nets = DefaultServingNetworks(maxKeys)
 	}
-	inner := make([]*product.Network, len(nets))
+	cands := make([]serve.Candidate, len(nets))
+	maxNodes := 0
 	for i, nw := range nets {
 		if nw == nil {
 			return nil, errors.New("productsort: nil serving network")
 		}
-		inner[i] = nw.net
+		cands[i] = serve.Candidate{Net: nw.net}
+		if nw.Nodes() > maxNodes {
+			maxNodes = nw.Nodes()
+		}
 	}
-	planner, err := serve.NewPlanner(inner, engine)
+	fam, err := serve.FamilyCandidates(cfg.Families, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := serve.NewPlannerCandidates(append(cands, fam...), engine)
 	if err != nil {
 		return nil, err
 	}
